@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark both *times* its experiment (pytest-benchmark) and
+*prints + archives* the table the paper's Results section corresponds
+to, so ``pytest benchmarks/ --benchmark-only`` regenerates all reported
+artifacts under ``results/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.analysis.reports import save_report
+
+#: Where rendered tables and JSON summaries land.
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+def publish(name: str, text: str, summary=None) -> None:
+    """Print a table and archive it (plus optional JSON) to results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    if summary is not None:
+        save_report(summary, RESULTS_DIR / f"{name}.json")
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Benchmark a heavyweight experiment with a single round."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,21 @@
+"""End-to-end audit throughput: the self-test under the benchmark clock.
+
+Measures the full allocate -> codegen -> simulate -> verify chain over a
+batch of random instances -- the library's integrity check doubling as
+an end-to-end performance benchmark.
+"""
+
+from repro.analysis.selftest import run_self_test
+
+from _bench_util import run_once
+
+
+def bench_end_to_end_audit(benchmark):
+    report = run_once(benchmark, run_self_test, n_instances=150, seed=42)
+    assert report.n_instances == 150
+    assert report.n_accesses_verified > 0
+    # The random mix must exercise both outcomes.
+    assert report.n_zero_cost_allocations > 0
+    assert report.n_constrained_allocations > 0
+    print()
+    print(report.summary())

@@ -1,0 +1,45 @@
+"""EXP-F1: the paper's Figure 1 -- the example loop's access graph.
+
+Regenerates the figure (as ASCII + DOT), checks the graph matches the
+paper's narrative exactly, and times graph construction plus the exact
+``K~`` computation on the example.
+"""
+
+from repro.graph.access_graph import AccessGraph
+from repro.graph.dot import graph_to_ascii, graph_to_dot
+from repro.ir.builder import pattern_from_offsets
+from repro.pathcover.branch_and_bound import minimum_zero_cost_cover
+from repro.pathcover.paths import Path
+from repro.pathcover.verify import is_zero_cost_path
+
+from _bench_util import publish
+
+PAPER_OFFSETS = [1, 0, 2, -1, 1, 0, -2]
+
+
+def bench_fig1_graph_construction(benchmark):
+    """Time: building the example's access graph (intra + inter edges)."""
+    pattern = pattern_from_offsets(PAPER_OFFSETS)
+    graph = benchmark(AccessGraph, pattern, 1)
+
+    # --- Fidelity checks against the paper -----------------------------
+    stats = graph.stats()
+    assert stats.n_nodes == 7
+    # Paper narrative: (a_1, a_3, a_5, a_6) is a path in G...
+    assert is_zero_cost_path(Path((0, 2, 4, 5)), pattern, 1,
+                             include_wrap=False)
+    # ... though its wrap-around is not free (steady-state view).
+    assert not is_zero_cost_path(Path((0, 2, 4, 5)), pattern, 1,
+                                 include_wrap=True)
+
+    text = (graph_to_ascii(graph, include_inter=True)
+            + "\n" + graph_to_dot(graph))
+    publish("exp_f1_figure1", text)
+
+
+def bench_fig1_k_tilde(benchmark):
+    """Time: the exact phase-1 search on the example (K~ = 3)."""
+    pattern = pattern_from_offsets(PAPER_OFFSETS)
+    result = benchmark(minimum_zero_cost_cover, pattern, 1)
+    assert result.k_tilde == 3
+    assert result.optimal

@@ -1,0 +1,42 @@
+"""EXP-S2: EXP-S1 marginalized per parameter (N, M, K).
+
+Shows where best-pair merging helps most: the reduction grows with the
+register count K and the modify range M (more zero-cost structure to
+preserve), and stays stable across N.
+"""
+
+from repro.analysis.experiments import (
+    StatisticalConfig,
+    marginalize,
+    run_statistical_comparison,
+)
+from repro.analysis.render import statistical_marginal_table
+
+from _bench_util import publish, run_once
+
+
+def bench_exp_s2_marginals(benchmark):
+    """Time: the EXP-S2 grid + marginalization."""
+    config = StatisticalConfig(patterns_per_config=20)
+
+    def run():
+        summary = run_statistical_comparison(config)
+        return summary, {axis: marginalize(summary, axis)
+                         for axis in ("n", "m", "k")}
+
+    summary, marginals = run_once(benchmark, run)
+
+    text = "\n".join(
+        statistical_marginal_table(summary, axis).render()
+        for axis in ("n", "m", "k"))
+    publish("exp_s2_marginals", text, summary)
+
+    by_k = marginals["k"]
+    # Shape: more registers -> more reduction (monotone in K on the
+    # default grid).
+    reductions = [row.reduction_pct for row in by_k]
+    assert reductions == sorted(reductions)
+    # All marginals positive: the heuristic wins everywhere.
+    for rows in marginals.values():
+        for row in rows:
+            assert row.reduction_pct > 0

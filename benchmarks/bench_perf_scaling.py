@@ -1,0 +1,109 @@
+"""EXP-P1: runtime scaling of the library's algorithms.
+
+Micro-benchmarks over the building blocks so performance regressions in
+the solvers show up directly: graph construction, matching, the exact
+branch-and-bound, the greedy cover, best-pair merging, codegen, the
+simulator, and SOA.
+"""
+
+import pytest
+
+from repro.agu.codegen import generate_address_code
+from repro.agu.model import AguSpec
+from repro.agu.simulator import simulate
+from repro.graph.access_graph import AccessGraph
+from repro.ir.layout import MemoryLayout
+from repro.ir.parser import parse_kernel
+from repro.ir.types import ArrayDecl, Loop
+from repro.merging.greedy import best_pair_merge
+from repro.pathcover.branch_and_bound import minimum_zero_cost_cover
+from repro.pathcover.heuristic import greedy_zero_cost_cover
+from repro.pathcover.lower_bound import intra_cover_lower_bound
+from repro.offset.soa import tiebreak_soa
+from repro.offset.sequence import random_sequence
+from repro.workloads.kernels import KERNELS
+from repro.workloads.random_patterns import (
+    RandomPatternConfig,
+    generate_pattern,
+)
+
+
+@pytest.mark.parametrize("n", [20, 40, 80])
+def bench_graph_construction(benchmark, n):
+    pattern = generate_pattern(RandomPatternConfig(n, offset_span=10),
+                               seed=1)
+    graph = benchmark(AccessGraph, pattern, 1)
+    assert graph.n_nodes == n
+
+
+@pytest.mark.parametrize("n", [40, 120, 360])
+def bench_matching_lower_bound(benchmark, n):
+    pattern = generate_pattern(RandomPatternConfig(n, offset_span=12),
+                               seed=2)
+    graph = AccessGraph(pattern, 1)
+    bound = benchmark(intra_cover_lower_bound, graph)
+    assert 1 <= bound <= n
+
+
+@pytest.mark.parametrize("n", [12, 18, 24])
+def bench_exact_cover(benchmark, n):
+    pattern = generate_pattern(RandomPatternConfig(n, offset_span=6),
+                               seed=3)
+    result = benchmark(minimum_zero_cost_cover, pattern, 1)
+    assert result.k_tilde >= 1
+
+
+@pytest.mark.parametrize("n", [40, 80, 160])
+def bench_greedy_cover(benchmark, n):
+    pattern = generate_pattern(RandomPatternConfig(n, offset_span=10),
+                               seed=4)
+    graph = AccessGraph(pattern, 1)
+    cover = benchmark(greedy_zero_cost_cover, graph)
+    assert cover.n_accesses == n
+
+
+@pytest.mark.parametrize("n", [20, 40, 80])
+def bench_best_pair_merging(benchmark, n):
+    pattern = generate_pattern(RandomPatternConfig(n, offset_span=10),
+                               seed=5)
+    graph = AccessGraph(pattern, 1)
+    cover = greedy_zero_cost_cover(graph)
+
+    def merge():
+        return best_pair_merge(cover, 2, pattern, 1)
+
+    result = benchmark(merge)
+    assert result.n_registers <= 2
+
+
+def bench_parser_on_kernel_library(benchmark):
+    sources = [entry.source for entry in KERNELS.values()]
+
+    def parse_all():
+        return [parse_kernel(source) for source in sources]
+
+    kernels = benchmark(parse_all)
+    assert len(kernels) == len(KERNELS)
+
+
+def bench_codegen_and_simulation(benchmark):
+    pattern = generate_pattern(RandomPatternConfig(30, offset_span=8),
+                               seed=6)
+    graph = AccessGraph(pattern, 1)
+    cover = greedy_zero_cost_cover(graph)
+    merged = best_pair_merge(cover, 4, pattern, 1)
+    spec = AguSpec(4, 1)
+    program = generate_address_code(pattern, merged.cover, spec)
+    loop = Loop(pattern, start=0, n_iterations=100)
+    layout = MemoryLayout.contiguous([ArrayDecl("A", length=256)],
+                                     origin=16)
+
+    result = benchmark(simulate, program, loop, layout)
+    assert result.n_accesses_verified == 100 * 30
+
+
+@pytest.mark.parametrize("length", [50, 200])
+def bench_soa_tiebreak(benchmark, length):
+    sequence = random_sequence(12, length, seed=7, locality=0.4)
+    layout = benchmark(tiebreak_soa, sequence)
+    assert sorted(layout) == sorted(sequence.variables())

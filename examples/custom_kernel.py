@@ -1,0 +1,65 @@
+"""Bring your own kernel: compile custom source for a custom AGU.
+
+Demonstrates the library as a user would adopt it: write a loop in the
+C-like kernel language, pick (or define) an AGU, inspect the access
+graph, and read the generated address code -- including the Graphviz
+export for documentation.
+
+Run:  python examples/custom_kernel.py
+"""
+
+from repro import (
+    AccessGraph,
+    AguSpec,
+    PRESETS,
+    compile_kernel,
+    graph_to_dot,
+    parse_kernel,
+)
+
+# A two-channel mixer: interleaved stereo input, two gain taps each.
+SOURCE = """
+int in[256], outL[128], outR[128], gL, gR;
+for (i = 0; i < 120; i++) {
+    outL[i] = in[2*i] * gL + in[2*i+2] * gL;
+    outR[i] = in[2*i+1] * gR + in[2*i+3] * gR;
+}
+"""
+
+
+def main() -> None:
+    kernel = parse_kernel(SOURCE, name="stereo_mixer")
+    print(f"kernel: {kernel.name}")
+    print(f"arrays: {', '.join(d.name for d in kernel.arrays)}")
+    print(f"accesses/iteration: {len(kernel.pattern)}")
+    print(f"access pattern: {kernel.pattern}\n")
+
+    # The stride-2 accesses (coefficient 2) are exactly the case where
+    # phase 1's wrap-around reasoning matters: a register can follow
+    # in[2i] and in[2i+1] together for free, but neither alone.
+    graph = AccessGraph(kernel.pattern, modify_range=1)
+    print(f"access graph: {graph}\n")
+
+    for spec_name in ("adsp210x_like", "tight_k2"):
+        spec = PRESETS[spec_name]
+        artifacts = compile_kernel(kernel, spec, n_iterations=16)
+        allocation = artifacts.allocation
+        print(f"--- on {spec} ---")
+        print(f"  K~={allocation.k_tilde}  "
+              f"registers used={allocation.n_registers_used}  "
+              f"unit-cost/iter={allocation.total_cost}")
+        print(f"  simulator verified "
+              f"{artifacts.simulation.n_accesses_verified} addresses\n")
+
+    # Full artifacts for one custom AGU.
+    artifacts = compile_kernel(kernel, AguSpec(3, 2, "custom_m2"),
+                               n_iterations=16)
+    print(artifacts.listing)
+
+    dot = graph_to_dot(graph, name="stereo_mixer")
+    print("Graphviz export (feed to `dot -Tpng`):\n")
+    print(dot)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Quickstart: the paper's example loop, end to end.
+
+Reproduces the full story of Basu/Leupers/Marwedel (DATE 1998) on the
+loop from the paper's section 2:
+
+1. parse the kernel source,
+2. build the access graph (Figure 1),
+3. compute the minimum zero-cost cover (K~ virtual registers),
+4. merge down to the physical register count K,
+5. generate AGU address code and verify it by simulation.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AccessGraph,
+    AddressRegisterAllocator,
+    AguSpec,
+    compile_kernel,
+    graph_to_ascii,
+    parse_kernel,
+)
+
+SOURCE = """
+/* The example loop of the paper's section 2. */
+for (i = 2; i <= N; i++) {
+    A[i+1];   /* a_1 */
+    A[i];     /* a_2 */
+    A[i+2];   /* a_3 */
+    A[i-1];   /* a_4 */
+    A[i+1];   /* a_5 */
+    A[i];     /* a_6 */
+    A[i-2];   /* a_7 */
+}
+"""
+
+
+def main() -> None:
+    kernel = parse_kernel(SOURCE, name="paper_example")
+    print(f"parsed: {kernel.loop}\n")
+
+    # --- Figure 1: the access graph ------------------------------------
+    graph = AccessGraph(kernel.pattern, modify_range=1)
+    print(graph_to_ascii(graph))
+
+    # --- Phase 1: how many registers for free addressing? --------------
+    generous = AddressRegisterAllocator(AguSpec(n_registers=8,
+                                                modify_range=1))
+    unconstrained = generous.allocate(kernel)
+    print(f"K~ = {unconstrained.k_tilde} virtual registers suffice "
+          f"for a zero-cost addressing scheme:")
+    print(f"  {unconstrained.cover}\n")
+
+    # --- Phase 2: the register constraint (K = 2) ----------------------
+    tight = AddressRegisterAllocator(AguSpec(n_registers=2,
+                                             modify_range=1))
+    constrained = tight.allocate(kernel)
+    print(constrained.summary())
+    print()
+
+    # --- Code generation + simulator audit -----------------------------
+    artifacts = compile_kernel(kernel, AguSpec(2, 1), n_iterations=50)
+    print(artifacts.listing)
+    simulation = artifacts.simulation
+    print(f"simulator: verified {simulation.n_accesses_verified} "
+          f"addresses over {simulation.n_iterations} iterations; "
+          f"{simulation.overhead_per_iteration} unit-cost "
+          f"instruction(s) per iteration, matching the model.")
+
+
+if __name__ == "__main__":
+    main()

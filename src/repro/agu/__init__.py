@@ -1,0 +1,40 @@
+"""Address generation unit (AGU) model, code generation, and simulation.
+
+The paper's cost model is a claim about hardware: updates within the
+auto-modify range are free because the AGU performs them in parallel
+with the data path.  This subpackage makes the claim auditable:
+
+* :mod:`repro.agu.model` -- parametric AGU specifications (``K``
+  registers, modify range ``M``) plus presets shaped after classic DSPs.
+* :mod:`repro.agu.isa` -- the address-computation instruction set.
+* :mod:`repro.agu.codegen` -- turn an allocation (a path cover) into an
+  address program for a loop.
+* :mod:`repro.agu.simulator` -- execute the program, verify that every
+  access sees the right address, and count the unit-cost instructions,
+  which must equal the allocation's modelled cost.
+* :mod:`repro.agu.listing` -- human-readable assembly listing.
+"""
+
+from repro.agu.codegen import (
+    AddressProgram,
+    generate_address_code,
+    generate_unoptimized_code,
+)
+from repro.agu.isa import Modify, PointTo, Use
+from repro.agu.listing import program_listing
+from repro.agu.model import PRESETS, AguSpec
+from repro.agu.simulator import SimulationResult, simulate
+
+__all__ = [
+    "AddressProgram",
+    "AguSpec",
+    "Modify",
+    "PRESETS",
+    "PointTo",
+    "SimulationResult",
+    "Use",
+    "generate_address_code",
+    "generate_unoptimized_code",
+    "program_listing",
+    "simulate",
+]

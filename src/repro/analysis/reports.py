@@ -1,0 +1,54 @@
+"""JSON persistence for experiment results.
+
+Experiment summaries are nested frozen dataclasses; :func:`to_jsonable`
+lowers them (plus enums, tuples, paths) to plain JSON types so runs can
+be archived under ``results/`` and compared across revisions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from enum import Enum
+from pathlib import Path
+from typing import Any
+
+from repro.errors import ExperimentError
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively lower dataclasses/enums/tuples to JSON-able types."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {field.name: to_jsonable(getattr(value, field.name))
+                for field in dataclasses.fields(value)}
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, Path):
+        return str(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    # Objects with a sensible str() (e.g. Path covers) degrade to text.
+    return str(value)
+
+
+def save_report(payload: Any, path: str | Path) -> Path:
+    """Write a JSON report; parent directories are created."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with open(target, "w") as handle:
+        json.dump(to_jsonable(payload), handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return target
+
+
+def load_report(path: str | Path) -> Any:
+    """Read back a JSON report written by :func:`save_report`."""
+    target = Path(path)
+    if not target.exists():
+        raise ExperimentError(f"no report at {target}")
+    with open(target) as handle:
+        return json.load(handle)

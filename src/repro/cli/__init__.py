@@ -1,0 +1,5 @@
+"""Command-line interface (``repro-agu`` / ``python -m repro.cli``)."""
+
+from repro.cli.main import main
+
+__all__ = ["main"]

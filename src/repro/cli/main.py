@@ -1,0 +1,390 @@
+"""``repro-agu``: compile kernels, inspect graphs, run experiments.
+
+Subcommands
+-----------
+compile
+    Parse a kernel (file or stdin), run the two-phase allocator, print
+    the allocation summary and the address-code listing, and verify by
+    simulation.
+graph
+    Print the access graph of a kernel (ASCII or Graphviz DOT).
+kernels
+    List or show the bundled DSP kernel library.
+experiment
+    Run one of the paper's experiments and print its table(s).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro import __version__
+from repro.agu.model import PRESETS, AguSpec
+from repro.analysis import reports
+from repro.analysis import render
+from repro.analysis.experiments import (
+    ArrayLayoutAblationConfig,
+    CostModelAblationConfig,
+    KernelComparisonConfig,
+    MergingAblationConfig,
+    ModRegAblationConfig,
+    OffsetComparisonConfig,
+    PathCoverAblationConfig,
+    ReorderAblationConfig,
+    StatisticalConfig,
+    quick_statistical_config,
+    run_array_layout_ablation,
+    run_cost_model_ablation,
+    run_kernel_comparison,
+    run_merging_ablation,
+    run_modreg_ablation,
+    run_offset_comparison,
+    run_path_cover_ablation,
+    run_reorder_ablation,
+    run_statistical_comparison,
+)
+from repro.core.pipeline import compile_kernel
+from repro.errors import ReproError
+from repro.graph.access_graph import AccessGraph
+from repro.graph.dot import graph_to_ascii, graph_to_dot
+from repro.ir.parser import parse_kernel
+from repro.workloads.kernels import KERNELS, get_kernel
+
+
+def _read_source(path: str) -> str:
+    if path == "-":
+        return sys.stdin.read()
+    return Path(path).read_text()
+
+
+def _spec_from_args(args: argparse.Namespace) -> AguSpec:
+    if args.preset:
+        base = PRESETS[args.preset]
+        spec = base
+        if args.registers is not None:
+            spec = spec.with_registers(args.registers)
+        if args.modify_range is not None:
+            spec = spec.with_modify_range(args.modify_range)
+        return spec
+    return AguSpec(args.registers if args.registers is not None else 4,
+                   args.modify_range if args.modify_range is not None else 1)
+
+
+def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("-k", "--registers", type=int, default=None,
+                        help="number of address registers (default 4)")
+    parser.add_argument("-m", "--modify-range", type=int, default=None,
+                        help="auto-modify range M (default 1)")
+    parser.add_argument("--preset", choices=sorted(PRESETS), default=None,
+                        help="start from a named AGU preset")
+
+
+# ----------------------------------------------------------------------
+# Subcommand implementations
+# ----------------------------------------------------------------------
+def _cmd_compile(args: argparse.Namespace) -> int:
+    source = _read_source(args.file)
+    spec = _spec_from_args(args)
+    artifacts = compile_kernel(source, spec,
+                               run_simulation=not args.no_sim,
+                               n_iterations=args.iterations,
+                               name=Path(args.file).stem
+                               if args.file != "-" else "stdin")
+    print(artifacts.allocation.summary())
+    print()
+    print(artifacts.listing)
+    if artifacts.simulation is not None:
+        sim = artifacts.simulation
+        print(f"; simulation: {sim.n_accesses_verified} accesses verified "
+              f"over {sim.n_iterations} iterations, "
+              f"{sim.overhead_per_iteration} unit-cost instructions "
+              f"per iteration")
+    return 0
+
+
+def _cmd_graph(args: argparse.Namespace) -> int:
+    source = _read_source(args.file)
+    kernel = parse_kernel(source)
+    modify_range = args.modify_range if args.modify_range is not None else 1
+    graph = AccessGraph(kernel.pattern, modify_range)
+    if args.dot:
+        print(graph_to_dot(graph, include_inter=args.wrap), end="")
+    else:
+        print(graph_to_ascii(graph, include_inter=args.wrap), end="")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.core.allocator import AddressRegisterAllocator
+    from repro.workloads.trace import parse_trace
+
+    pattern = parse_trace(_read_source(args.file))
+    spec = _spec_from_args(args)
+    allocator = AddressRegisterAllocator(spec)
+    result = allocator.allocate(pattern)
+    print(result.summary())
+    if args.listing:
+        from repro.agu.codegen import generate_address_code
+        from repro.agu.listing import program_listing
+        program = generate_address_code(pattern, result.cover, spec)
+        print()
+        print(program_listing(program,
+                              title=f"trace {args.file}"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.analysis.report import ReportConfig, save_report_markdown
+
+    config = ReportConfig(quick=args.quick)
+    if args.only:
+        config = ReportConfig(quick=args.quick,
+                              include=tuple(args.only.split(",")))
+    target = save_report_markdown(args.output, config)
+    print(f"report written to {target}")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    source = _read_source(args.file)
+    spec = _spec_from_args(args)
+    artifacts = compile_kernel(source, spec,
+                               n_iterations=args.iterations,
+                               name=Path(args.file).stem
+                               if args.file != "-" else "stdin")
+    simulation = artifacts.simulation
+    assert simulation is not None
+    print(f"ok: {simulation.n_accesses_verified} addresses verified over "
+          f"{simulation.n_iterations} iterations on {spec}; "
+          f"{simulation.overhead_per_iteration} unit-cost "
+          f"instruction(s)/iteration (model agrees)")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.analysis.tables import Column, Table
+    from repro.core.allocator import AddressRegisterAllocator
+
+    source = _read_source(args.file)
+    kernel = parse_kernel(source)
+    modify_range = args.modify_range if args.modify_range is not None else 1
+    table = Table([
+        Column("K", "k"), Column("K~", "k_tilde"),
+        Column("registers used", "used"),
+        Column("cost/iter", "cost"),
+    ], title=f"register-pressure sweep (M={modify_range}, "
+             f"N={len(kernel.pattern)})")
+    for k in range(args.max_registers, 0, -1):
+        allocator = AddressRegisterAllocator(AguSpec(k, modify_range))
+        result = allocator.allocate(kernel)
+        table.add_row(k=k, k_tilde=result.k_tilde,
+                      used=result.n_registers_used,
+                      cost=result.total_cost)
+    print(table.render())
+    return 0
+
+
+def _cmd_selftest(args: argparse.Namespace) -> int:
+    from repro.analysis.selftest import run_self_test
+
+    report = run_self_test(n_instances=args.instances, seed=args.seed)
+    print(report.summary())
+    return 0
+
+
+def _cmd_kernels(args: argparse.Namespace) -> int:
+    if args.name is None:
+        width = max(len(name) for name in KERNELS)
+        for name in sorted(KERNELS):
+            entry = KERNELS[name]
+            print(f"{name:<{width}}  [{entry.category}] "
+                  f"{entry.description}")
+        return 0
+    entry = get_kernel(args.name)
+    print(f"// {entry.name} [{entry.category}]: {entry.description}")
+    print(entry.source.strip())
+    return 0
+
+
+_EXPERIMENTS = ("stats", "kernels", "pathcover", "costmodel", "merging",
+                "offset", "modreg", "reorder", "arraylayout")
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    tables = []
+    if args.which == "stats":
+        config = quick_statistical_config() if args.quick \
+            else StatisticalConfig()
+        summary = run_statistical_comparison(config)
+        tables.append(render.statistical_table(summary))
+        for axis in ("n", "m", "k"):
+            tables.append(render.statistical_marginal_table(summary, axis))
+        headline = (f"average reduction: "
+                    f"{summary.average_reduction_pct:.1f} % "
+                    f"(paper: about 40 %); overall "
+                    f"{summary.overall_reduction_pct:.1f} %")
+    elif args.which == "kernels":
+        summary = run_kernel_comparison(KernelComparisonConfig())
+        tables.append(render.kernel_table(summary))
+        headline = (f"mean addressing-overhead reduction "
+                    f"{summary.mean_overhead_reduction_pct:.1f} %, mean "
+                    f"speed improvement "
+                    f"{summary.mean_speed_improvement_pct:.1f} %")
+    elif args.which == "pathcover":
+        summary = run_path_cover_ablation(PathCoverAblationConfig())
+        tables.append(render.path_cover_table(summary))
+        headline = ""
+    elif args.which == "costmodel":
+        summary = run_cost_model_ablation(CostModelAblationConfig())
+        tables.append(render.cost_model_table(summary))
+        headline = (f"mean steady-state saving from wrap-aware merging: "
+                    f"{summary.mean_penalty_pct:.1f} %")
+    elif args.which == "merging":
+        summary = run_merging_ablation(MergingAblationConfig())
+        tables.append(render.merging_table(summary))
+        headline = ""
+    elif args.which == "offset":
+        summary = run_offset_comparison(OffsetComparisonConfig())
+        tables.append(render.offset_soa_table(summary))
+        tables.append(render.offset_goa_table(summary))
+        headline = (f"mean SOA reduction vs OFU: Liao "
+                    f"{summary.mean_liao_reduction_pct:.1f} %, tie-break "
+                    f"{summary.mean_tiebreak_reduction_pct:.1f} %")
+    elif args.which == "modreg":
+        summary = run_modreg_ablation(ModRegAblationConfig())
+        tables.append(render.modreg_table(summary))
+        headline = "(extension: not part of the original paper)"
+    elif args.which == "reorder":
+        summary = run_reorder_ablation(ReorderAblationConfig())
+        tables.append(render.reorder_table(summary))
+        headline = (f"mean reduction from reordering: "
+                    f"{summary.mean_reduction_pct:.1f} % "
+                    f"(extension: not part of the original paper)")
+    elif args.which == "arraylayout":
+        summary = run_array_layout_ablation(ArrayLayoutAblationConfig())
+        tables.append(render.array_layout_table(summary))
+        headline = (f"mean reduction from array placement: "
+                    f"{summary.mean_reduction_pct:.1f} % "
+                    f"(extension: not part of the original paper)")
+    else:  # pragma: no cover - argparse restricts choices
+        raise ReproError(f"unknown experiment {args.which!r}")
+
+    for table in tables:
+        print(table.render())
+    if headline:
+        print(headline)
+    if args.json:
+        path = reports.save_report(summary, args.json)
+        print(f"(report saved to {path})")
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-agu",
+        description="Register-constrained address computation for DSP "
+                    "programs (Basu/Leupers/Marwedel, DATE 1998)")
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = commands.add_parser(
+        "compile", help="allocate registers and emit address code")
+    compile_parser.add_argument("file", help="kernel source ('-' = stdin)")
+    _add_spec_arguments(compile_parser)
+    compile_parser.add_argument("--no-sim", action="store_true",
+                                help="skip the simulator audit")
+    compile_parser.add_argument("--iterations", type=int, default=None,
+                                help="simulated iterations (symbolic "
+                                     "bounds default to 16)")
+    compile_parser.set_defaults(func=_cmd_compile)
+
+    graph_parser = commands.add_parser(
+        "graph", help="print a kernel's access graph")
+    graph_parser.add_argument("file", help="kernel source ('-' = stdin)")
+    graph_parser.add_argument("-m", "--modify-range", type=int,
+                              default=None, help="auto-modify range M")
+    graph_parser.add_argument("--dot", action="store_true",
+                              help="emit Graphviz DOT instead of ASCII")
+    graph_parser.add_argument("--wrap", action="store_true",
+                              help="include inter-iteration edges")
+    graph_parser.set_defaults(func=_cmd_graph)
+
+    kernels_parser = commands.add_parser(
+        "kernels", help="list or show the bundled DSP kernels")
+    kernels_parser.add_argument("name", nargs="?", default=None,
+                                help="kernel to show (omit to list)")
+    kernels_parser.set_defaults(func=_cmd_kernels)
+
+    experiment_parser = commands.add_parser(
+        "experiment", help="run one of the paper's experiments")
+    experiment_parser.add_argument("which", choices=_EXPERIMENTS)
+    experiment_parser.add_argument("--quick", action="store_true",
+                                   help="scaled-down grid (stats only)")
+    experiment_parser.add_argument("--json", default=None,
+                                   help="also save the summary as JSON")
+    experiment_parser.set_defaults(func=_cmd_experiment)
+
+    verify_parser = commands.add_parser(
+        "verify", help="compile a kernel and fail on any audit mismatch")
+    verify_parser.add_argument("file", help="kernel source ('-' = stdin)")
+    _add_spec_arguments(verify_parser)
+    verify_parser.add_argument("--iterations", type=int, default=None)
+    verify_parser.set_defaults(func=_cmd_verify)
+
+    sweep_parser = commands.add_parser(
+        "sweep", help="register-pressure sweep for a kernel")
+    sweep_parser.add_argument("file", help="kernel source ('-' = stdin)")
+    sweep_parser.add_argument("-m", "--modify-range", type=int,
+                              default=None)
+    sweep_parser.add_argument("--max-registers", type=int, default=8)
+    sweep_parser.set_defaults(func=_cmd_sweep)
+
+    selftest_parser = commands.add_parser(
+        "selftest", help="random end-to-end audit of the whole pipeline")
+    selftest_parser.add_argument("--instances", type=int, default=100)
+    selftest_parser.add_argument("--seed", type=int, default=0)
+    selftest_parser.set_defaults(func=_cmd_selftest)
+
+    trace_parser = commands.add_parser(
+        "trace", help="allocate registers for a plain-text access trace")
+    trace_parser.add_argument("file", help="trace file ('-' = stdin)")
+    _add_spec_arguments(trace_parser)
+    trace_parser.add_argument("--listing", action="store_true",
+                              help="also print the address-code listing")
+    trace_parser.set_defaults(func=_cmd_trace)
+
+    report_parser = commands.add_parser(
+        "report", help="run all experiments into one Markdown report")
+    report_parser.add_argument("-o", "--output",
+                               default="results/REPORT.md")
+    report_parser.add_argument("--quick", action="store_true",
+                               help="scaled-down statistical grid")
+    report_parser.add_argument("--only", default=None,
+                               help="comma-separated experiment keys "
+                                    "(e.g. 's1,k1,x2')")
+    report_parser.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

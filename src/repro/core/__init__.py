@@ -1,0 +1,23 @@
+"""The paper's two-phase allocator and the end-to-end pipeline.
+
+This is the library's primary public API:
+
+* :class:`~repro.core.allocator.AddressRegisterAllocator` -- phase 1
+  (minimum zero-cost cover, ``K~``) + phase 2 (best-pair merging down to
+  ``K`` registers), with the naive baseline alongside.
+* :func:`~repro.core.pipeline.compile_kernel` -- source text (or a
+  parsed kernel) to verified AGU address code in one call.
+"""
+
+from repro.core.allocator import AddressRegisterAllocator
+from repro.core.config import AllocatorConfig
+from repro.core.pipeline import CompilationArtifacts, compile_kernel
+from repro.core.result import AllocationResult
+
+__all__ = [
+    "AddressRegisterAllocator",
+    "AllocationResult",
+    "AllocatorConfig",
+    "CompilationArtifacts",
+    "compile_kernel",
+]

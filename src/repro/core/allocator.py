@@ -1,0 +1,149 @@
+"""The paper's two-phase address-register allocator (section 3).
+
+Phase 1 computes the minimum number ``K~`` of virtual registers with a
+zero-cost addressing scheme (exact branch-and-bound, or the greedy cover
+beyond a size limit).  If ``K~`` exceeds the physical register count
+``K``, phase 2 repeatedly merges the pair of paths with the cheapest
+merged cost until ``K`` paths remain.
+
+The naive baseline of the paper's Results section -- identical phase 1,
+arbitrary merging in phase 2 -- is available as
+:meth:`AddressRegisterAllocator.allocate_naive`.
+"""
+
+from __future__ import annotations
+
+from repro.agu.model import AguSpec
+from repro.core.config import AllocatorConfig
+from repro.core.result import AllocationResult
+from repro.errors import InfeasibleZeroCostCover, SearchBudgetExceeded
+from repro.graph.access_graph import AccessGraph
+from repro.ir.types import AccessPattern, Kernel, Loop
+from repro.merging.cost import CostModel, cover_cost
+from repro.merging.greedy import best_pair_merge
+from repro.merging.naive import naive_merge
+from repro.pathcover.branch_and_bound import minimum_zero_cost_cover
+from repro.pathcover.heuristic import greedy_zero_cost_cover
+from repro.pathcover.lower_bound import min_intra_path_cover
+from repro.pathcover.paths import PathCover
+
+ProblemInput = AccessPattern | Loop | Kernel
+
+
+def _coerce_pattern(problem: ProblemInput) -> AccessPattern:
+    if isinstance(problem, Kernel):
+        return problem.loop.pattern
+    if isinstance(problem, Loop):
+        return problem.pattern
+    return problem
+
+
+class AddressRegisterAllocator:
+    """Two-phase allocator for a fixed AGU specification."""
+
+    def __init__(self, spec: AguSpec,
+                 config: AllocatorConfig | None = None):
+        self.spec = spec
+        self.config = config if config is not None else AllocatorConfig()
+
+    # ------------------------------------------------------------------
+    # Phase 1
+    # ------------------------------------------------------------------
+    def initial_cover(self, pattern: AccessPattern,
+                      ) -> tuple[PathCover, int | None, bool, bool]:
+        """The starting path set for phase 2.
+
+        Returns ``(cover, k_tilde, feasible, optimal)``:
+
+        * normally a zero-cost cover with ``k_tilde = len(cover)``;
+        * the greedy cover (``optimal=False``) above the exact-search
+          size limit;
+        * the minimum intra-iteration cover with ``k_tilde=None,
+          feasible=False`` when no zero-cost cover exists.
+        """
+        n = len(pattern)
+        modify_range = self.spec.modify_range
+        if n == 0:
+            return PathCover((), 0), 0, True, True
+
+        group_sizes: dict[tuple[str, int], int] = {}
+        for access in pattern:
+            key = access.group_key
+            group_sizes[key] = group_sizes.get(key, 0) + 1
+        largest_group = max(group_sizes.values())
+
+        if largest_group <= self.config.exact_cover_limit:
+            try:
+                outcome = minimum_zero_cost_cover(
+                    pattern, modify_range,
+                    node_budget=self.config.cover_node_budget)
+                return (outcome.cover, outcome.k_tilde, True,
+                        outcome.optimal)
+            except (InfeasibleZeroCostCover, SearchBudgetExceeded):
+                pass  # fall through to the fallbacks below
+        else:
+            try:
+                cover = greedy_zero_cost_cover(
+                    AccessGraph(pattern, modify_range))
+                return cover, cover.n_paths, True, False
+            except InfeasibleZeroCostCover:
+                pass
+
+        # No zero-cost cover exists (or could be found): start from the
+        # exact minimum intra-iteration cover, whose wrap-around costs
+        # the final cost model will charge.
+        fallback = min_intra_path_cover(AccessGraph(pattern, modify_range))
+        return fallback, None, False, False
+
+    # ------------------------------------------------------------------
+    # Full allocations
+    # ------------------------------------------------------------------
+    def allocate(self, problem: ProblemInput) -> AllocationResult:
+        """The paper's algorithm: phase 1 + best-pair merging."""
+        pattern = _coerce_pattern(problem)
+        cover, k_tilde, feasible, optimal = self.initial_cover(pattern)
+        return self._finish(pattern, cover, k_tilde, feasible, optimal,
+                            naive=False, strategy=None, seed=None)
+
+    def allocate_naive(self, problem: ProblemInput,
+                       strategy: str | None = None,
+                       seed: int | None = None) -> AllocationResult:
+        """The Results-section baseline: phase 1 + arbitrary merging."""
+        pattern = _coerce_pattern(problem)
+        cover, k_tilde, feasible, optimal = self.initial_cover(pattern)
+        if strategy is None:
+            strategy = self.config.naive_strategy
+        if seed is None:
+            seed = self.config.naive_seed
+        return self._finish(pattern, cover, k_tilde, feasible, optimal,
+                            naive=True, strategy=strategy, seed=seed)
+
+    def _finish(self, pattern: AccessPattern, cover: PathCover,
+                k_tilde: int | None, feasible: bool, optimal: bool,
+                naive: bool, strategy: str | None,
+                seed: int | None) -> AllocationResult:
+        model: CostModel = self.config.cost_model
+        modify_range = self.spec.modify_range
+
+        if cover.n_paths <= self.spec.n_registers:
+            total = cover_cost(cover, pattern, modify_range, model)
+            return AllocationResult(
+                pattern=pattern, spec=self.spec, cover=cover,
+                total_cost=total, cost_model=model, k_tilde=k_tilde,
+                phase1_feasible=feasible, phase1_optimal=optimal,
+                merge_steps=(), strategy="none")
+
+        if naive:
+            assert strategy is not None
+            merged = naive_merge(cover, self.spec.n_registers, pattern,
+                                 modify_range, model, strategy=strategy,
+                                 seed=seed)
+        else:
+            merged = best_pair_merge(cover, self.spec.n_registers, pattern,
+                                     modify_range, model)
+        return AllocationResult(
+            pattern=pattern, spec=self.spec, cover=merged.cover,
+            total_cost=merged.total_cost, cost_model=model,
+            k_tilde=k_tilde, phase1_feasible=feasible,
+            phase1_optimal=optimal, merge_steps=merged.steps,
+            strategy=merged.strategy)

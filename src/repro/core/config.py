@@ -1,0 +1,52 @@
+"""Configuration of the two-phase allocator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import AllocationError
+from repro.merging.cost import CostModel
+from repro.merging.naive import NAIVE_STRATEGIES
+from repro.pathcover.branch_and_bound import DEFAULT_NODE_BUDGET
+
+
+@dataclass(frozen=True)
+class AllocatorConfig:
+    """Tunables of :class:`~repro.core.allocator.AddressRegisterAllocator`.
+
+    Attributes
+    ----------
+    cost_model:
+        Which transitions are charged (see
+        :class:`~repro.merging.cost.CostModel`); the steady-state model
+        is the default because it is what generated code pays.
+    exact_cover_limit:
+        Largest per-group access count for which phase 1 runs the exact
+        branch-and-bound; bigger groups use the greedy cover (the
+        paper's procedure is likewise budgeted -- a "fast" search).
+    cover_node_budget:
+        Node budget per branch-and-bound subproblem.
+    naive_strategy, naive_seed:
+        Defaults for the naive-baseline allocator (section 4's
+        comparison point).
+    """
+
+    cost_model: CostModel = CostModel.STEADY_STATE
+    exact_cover_limit: int = 40
+    cover_node_budget: int = DEFAULT_NODE_BUDGET
+    naive_strategy: str = "random"
+    naive_seed: int | None = 0
+
+    def __post_init__(self) -> None:
+        if self.exact_cover_limit < 0:
+            raise AllocationError(
+                f"exact_cover_limit must be >= 0, got "
+                f"{self.exact_cover_limit}")
+        if self.cover_node_budget < 1:
+            raise AllocationError(
+                f"cover_node_budget must be >= 1, got "
+                f"{self.cover_node_budget}")
+        if self.naive_strategy not in NAIVE_STRATEGIES:
+            raise AllocationError(
+                f"unknown naive strategy {self.naive_strategy!r}; "
+                f"available: {sorted(NAIVE_STRATEGIES)}")

@@ -1,0 +1,87 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the :mod:`repro` library."""
+
+
+class IrError(ReproError):
+    """Invalid intermediate-representation construction or use."""
+
+
+class ParseError(IrError):
+    """Raised by the kernel frontend on malformed source text.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending token, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            location = f"line {line}"
+            if column is not None:
+                location += f", column {column}"
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class LayoutError(IrError):
+    """Inconsistent memory-layout construction (overlaps, unknown arrays)."""
+
+
+class GraphError(ReproError):
+    """Invalid access-graph construction or query."""
+
+
+class PathCoverError(ReproError):
+    """Invalid path or path-cover construction."""
+
+
+class InfeasibleZeroCostCover(PathCoverError):
+    """No zero-cost path cover exists for the given modify range.
+
+    This happens exactly when the auto-modify range ``M`` is smaller than
+    the effective per-iteration address step of some access (for the
+    paper's model, when ``M < step``): even a register dedicated to a
+    single access cannot follow it across iterations for free.
+    """
+
+
+class SearchBudgetExceeded(PathCoverError):
+    """The branch-and-bound search exceeded its configured node budget."""
+
+
+class AllocationError(ReproError):
+    """The register allocator was asked for something impossible."""
+
+
+class CodegenError(ReproError):
+    """Address code generation failed (inconsistent allocation input)."""
+
+
+class SimulationError(ReproError):
+    """The AGU simulator detected an incorrect address stream."""
+
+
+class OffsetAssignmentError(ReproError):
+    """Invalid offset-assignment (SOA/GOA) input or result."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload-generator configuration."""
+
+
+class ExperimentError(ReproError):
+    """Invalid experiment configuration or inconsistent results."""

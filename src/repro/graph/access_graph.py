@@ -1,0 +1,165 @@
+"""The access graph ``G = (V, E)`` of the paper's section 2 / Figure 1.
+
+Nodes are the positions ``0 .. N-1`` of the accesses ``a_1 .. a_N`` of
+one loop iteration.  Two kinds of edges exist:
+
+* *intra-iteration* edges ``(p, q)`` with ``p < q``: computing the
+  address of ``a_{q+1}`` from ``a_{p+1}`` within one iteration is free
+  (address distance within the auto-modify range ``M``).
+* *inter-iteration* edges ``(q, p)`` (any ``p``, ``q``): a register whose
+  last access in iteration ``t`` is ``a_{q+1}`` can reach ``a_{p+1}`` in
+  iteration ``t + 1`` for free (wrap-around distance within ``M``).
+
+A zero-cost allocation of all accesses to ``K`` registers corresponds to
+covering the intra-iteration graph with ``K`` node-disjoint paths whose
+wrap-around (last node back to first node) is also an inter-iteration
+edge -- see :mod:`repro.pathcover`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import GraphError
+from repro.graph.distance import intra_distance, is_zero_cost, wrap_distance
+from repro.ir.types import AccessPattern
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Size summary of an access graph."""
+
+    n_nodes: int
+    n_intra_edges: int
+    n_inter_edges: int
+
+
+class AccessGraph:
+    """Zero-cost transition graph over one iteration's accesses.
+
+    Parameters
+    ----------
+    pattern:
+        The loop iteration's access sequence (carries the loop step).
+    modify_range:
+        The AGU auto-modify range ``M``.
+    """
+
+    def __init__(self, pattern: AccessPattern, modify_range: int):
+        if modify_range < 0:
+            raise GraphError(
+                f"modify range must be >= 0, got {modify_range}")
+        self._pattern = pattern
+        self._modify_range = modify_range
+        n = len(pattern)
+
+        intra: set[tuple[int, int]] = set()
+        successors: list[list[int]] = [[] for _ in range(n)]
+        predecessors: list[list[int]] = [[] for _ in range(n)]
+        for p in range(n):
+            for q in range(p + 1, n):
+                distance = intra_distance(pattern[p], pattern[q])
+                if is_zero_cost(distance, modify_range):
+                    intra.add((p, q))
+                    successors[p].append(q)
+                    predecessors[q].append(p)
+
+        inter: set[tuple[int, int]] = set()
+        for q in range(n):
+            for p in range(n):
+                distance = wrap_distance(pattern[q], pattern[p],
+                                         pattern.step)
+                if is_zero_cost(distance, modify_range):
+                    inter.add((q, p))
+
+        self._intra_edges = frozenset(intra)
+        self._inter_edges = frozenset(inter)
+        self._successors = tuple(tuple(s) for s in successors)
+        self._predecessors = tuple(tuple(p) for p in predecessors)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def pattern(self) -> AccessPattern:
+        return self._pattern
+
+    @property
+    def modify_range(self) -> int:
+        return self._modify_range
+
+    @property
+    def n_nodes(self) -> int:
+        return len(self._pattern)
+
+    def nodes(self) -> range:
+        """Node ids in program order (0-based access positions)."""
+        return range(self.n_nodes)
+
+    def label(self, node: int) -> str:
+        """Paper-style label ``a_k`` of a node."""
+        return self._pattern.label(node)
+
+    # ------------------------------------------------------------------
+    # Edges
+    # ------------------------------------------------------------------
+    @property
+    def intra_edges(self) -> frozenset[tuple[int, int]]:
+        """Zero-cost intra-iteration edges ``(p, q)``, ``p < q``."""
+        return self._intra_edges
+
+    @property
+    def inter_edges(self) -> frozenset[tuple[int, int]]:
+        """Zero-cost inter-iteration (wrap-around) edges ``(q, p)``."""
+        return self._inter_edges
+
+    def has_intra_edge(self, p: int, q: int) -> bool:
+        """Whether ``a_{p+1} -> a_{q+1}`` is free within an iteration."""
+        return (p, q) in self._intra_edges
+
+    def has_inter_edge(self, q: int, p: int) -> bool:
+        """Whether wrap-around ``a_{q+1} -> a_{p+1}'`` is free."""
+        return (q, p) in self._inter_edges
+
+    def successors(self, node: int) -> tuple[int, ...]:
+        """Intra-iteration successors of ``node`` (later positions)."""
+        self._check_node(node)
+        return self._successors[node]
+
+    def predecessors(self, node: int) -> tuple[int, ...]:
+        """Intra-iteration predecessors of ``node`` (earlier positions)."""
+        self._check_node(node)
+        return self._predecessors[node]
+
+    def _check_node(self, node: int) -> None:
+        if not 0 <= node < self.n_nodes:
+            raise GraphError(
+                f"node {node} out of range 0..{self.n_nodes - 1}")
+
+    # ------------------------------------------------------------------
+    # Convenience
+    # ------------------------------------------------------------------
+    def stats(self) -> GraphStats:
+        """Node/edge counts."""
+        return GraphStats(self.n_nodes, len(self._intra_edges),
+                          len(self._inter_edges))
+
+    def paths_from(self, node: int) -> Iterator[tuple[int, ...]]:
+        """Enumerate all simple intra-iteration paths starting at ``node``.
+
+        Exponential in general; intended for tests and tiny instances.
+        """
+        self._check_node(node)
+        stack: list[tuple[int, ...]] = [(node,)]
+        while stack:
+            path = stack.pop()
+            yield path
+            for succ in self._successors[path[-1]]:
+                stack.append(path + (succ,))
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (f"AccessGraph(n={stats.n_nodes}, "
+                f"intra={stats.n_intra_edges}, inter={stats.n_inter_edges}, "
+                f"M={self._modify_range})")

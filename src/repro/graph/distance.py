@@ -1,0 +1,84 @@
+"""Address distances between array accesses and the zero/unit cost model.
+
+The paper's cost model (section 2): after an access through an address
+register, the AGU can post-modify the register by any constant ``d`` with
+``|d| <= M`` in parallel with the data path (zero cost).  A larger update
+-- or re-pointing the register at an address whose distance is not a
+compile-time constant, which for us means a different array or a
+different index coefficient -- costs one extra instruction (unit cost).
+
+Distances come in two flavours:
+
+* *intra-iteration*: between two accesses of the same loop iteration.
+* *wrap-around*: from a register's last access in iteration ``t`` to its
+  first access in iteration ``t + 1``.  For accesses indexing with
+  ``c*i + d`` and loop step ``S``, that distance is
+  ``c*S + d_first - d_last``.
+
+Both return ``None`` when the distance is not a compile-time constant.
+"""
+
+from __future__ import annotations
+
+from repro.errors import GraphError
+from repro.ir.types import ArrayAccess
+
+
+def intra_distance(source: ArrayAccess, target: ArrayAccess) -> int | None:
+    """Constant address distance ``target - source`` within an iteration.
+
+    ``None`` when the accesses touch different arrays or index with
+    different loop-variable coefficients (the distance then varies with
+    the iteration or is unknown at compile time).
+
+    Element sizes do not appear here: the paper's model is word-addressed
+    (element size 1); the AGU code generator scales distances by the
+    element size where needed.
+    """
+    if source.array != target.array:
+        return None
+    return source.index.distance_to(target.index)
+
+
+def wrap_distance(last: ArrayAccess, first: ArrayAccess,
+                  step: int) -> int | None:
+    """Constant address distance from ``last`` (iteration ``t``) to
+    ``first`` (iteration ``t + 1``) for a loop with the given step.
+
+    ``None`` when the distance is not a compile-time constant.
+    """
+    if last.array != first.array:
+        return None
+    if last.coefficient != first.coefficient:
+        return None
+    return first.coefficient * step + first.offset - last.offset
+
+
+def is_zero_cost(distance: int | None, modify_range: int) -> bool:
+    """Whether a register can follow a ``distance`` update for free.
+
+    A ``None`` (non-constant) distance is never free.
+    """
+    if modify_range < 0:
+        raise GraphError(f"modify range must be >= 0, got {modify_range}")
+    return distance is not None and abs(distance) <= modify_range
+
+def transition_cost(distance: int | None, modify_range: int,
+                    free_deltas: frozenset[int] = frozenset()) -> int:
+    """Instruction cost of one register update: 0 if free, else 1.
+
+    This is the paper's unit-cost model: any update outside the
+    auto-modify range costs exactly one extra instruction, regardless of
+    the magnitude (an ``ADAR``/``SBAR``-style add-immediate, or an
+    address-register load when the distance is not constant).
+
+    ``free_deltas`` extends the model for AGUs with *modify registers*
+    (the MR extension): a constant update whose exact value has been
+    preloaded into a modify register also rides along for free
+    (``*(ARx)+MRj`` addressing).
+    """
+    if is_zero_cost(distance, modify_range):
+        return 0
+    if distance is not None and distance in free_deltas:
+        return 0
+    return 1

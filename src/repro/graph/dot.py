@@ -1,0 +1,51 @@
+"""Rendering of access graphs: Graphviz DOT text and a plain-ASCII view.
+
+No external dependency is required; the DOT output can be fed to
+``dot -Tpng`` where available, and the ASCII view reproduces the
+adjacency structure of the paper's Figure 1 in terminal-friendly form.
+"""
+
+from __future__ import annotations
+
+from repro.graph.access_graph import AccessGraph
+
+
+def graph_to_dot(graph: AccessGraph, name: str = "access_graph",
+                 include_inter: bool = False) -> str:
+    """Graphviz DOT text for an access graph.
+
+    Intra-iteration edges are solid; inter-iteration (wrap-around) edges,
+    included on request, are dashed, as is conventional for cross-
+    iteration dependences.
+    """
+    pattern = graph.pattern
+    lines = [f"digraph {name} {{", "  rankdir=LR;"]
+    for node in graph.nodes():
+        access = pattern[node]
+        lines.append(
+            f'  n{node} [label="{graph.label(node)}\\n{access}"];')
+    for p, q in sorted(graph.intra_edges):
+        lines.append(f"  n{p} -> n{q};")
+    if include_inter:
+        for q, p in sorted(graph.inter_edges):
+            lines.append(f'  n{q} -> n{p} [style=dashed, label="wrap"];')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def graph_to_ascii(graph: AccessGraph, include_inter: bool = False) -> str:
+    """Terminal-friendly adjacency listing of an access graph."""
+    pattern = graph.pattern
+    width = max((len(graph.label(node)) for node in graph.nodes()),
+                default=1)
+    lines = [f"AccessGraph  N={graph.n_nodes}  M={graph.modify_range}  "
+             f"step={pattern.step}"]
+    for node in graph.nodes():
+        succs = ", ".join(graph.label(s) for s in graph.successors(node))
+        lines.append(f"  {graph.label(node):<{width}}  {pattern[node]!s:<12}"
+                     f" -> {succs if succs else '(none)'}")
+    if include_inter:
+        lines.append("  wrap-around edges:")
+        for q, p in sorted(graph.inter_edges):
+            lines.append(f"    {graph.label(q)} ~> {graph.label(p)}'")
+    return "\n".join(lines) + "\n"

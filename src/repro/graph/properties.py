@@ -1,0 +1,89 @@
+"""Structural statistics of access graphs.
+
+These are used by the experiment harness to characterize workloads
+(density of zero-cost opportunities) and by tests as independent
+cross-checks of the graph construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.graph.access_graph import AccessGraph
+
+
+@dataclass(frozen=True)
+class DegreeSummary:
+    """Min/mean/max out- and in-degrees of the intra-iteration graph."""
+
+    min_out: int
+    mean_out: float
+    max_out: int
+    min_in: int
+    mean_in: float
+    max_in: int
+
+
+def intra_density(graph: AccessGraph) -> float:
+    """Fraction of possible intra-iteration pairs that are zero-cost.
+
+    1.0 for a complete graph over ``N`` nodes (``N*(N-1)/2`` pairs);
+    0.0 for an edgeless graph or fewer than two nodes.
+    """
+    n = graph.n_nodes
+    possible = n * (n - 1) // 2
+    if possible == 0:
+        return 0.0
+    return len(graph.intra_edges) / possible
+
+
+def degree_summary(graph: AccessGraph) -> DegreeSummary:
+    """Degree statistics of the intra-iteration graph."""
+    n = graph.n_nodes
+    if n == 0:
+        return DegreeSummary(0, 0.0, 0, 0, 0.0, 0)
+    outs = [len(graph.successors(node)) for node in graph.nodes()]
+    ins = [len(graph.predecessors(node)) for node in graph.nodes()]
+    return DegreeSummary(
+        min(outs), sum(outs) / n, max(outs),
+        min(ins), sum(ins) / n, max(ins),
+    )
+
+
+def isolated_nodes(graph: AccessGraph) -> tuple[int, ...]:
+    """Nodes with no intra-iteration edge at all.
+
+    Each isolated node forces its own path in any cover of the
+    intra-iteration graph, so ``len(isolated_nodes)`` is a (weak) lower
+    bound ingredient for the path-cover size.
+    """
+    return tuple(node for node in graph.nodes()
+                 if not graph.successors(node)
+                 and not graph.predecessors(node))
+
+
+def undirected_components(graph: AccessGraph) -> list[tuple[int, ...]]:
+    """Connected components of the undirected intra-iteration graph.
+
+    Paths cannot cross component boundaries, so the cover size is the sum
+    of per-component cover sizes; components also bound merging locality.
+    """
+    n = graph.n_nodes
+    seen = [False] * n
+    components: list[tuple[int, ...]] = []
+    for root in range(n):
+        if seen[root]:
+            continue
+        stack = [root]
+        seen[root] = True
+        members = []
+        while stack:
+            node = stack.pop()
+            members.append(node)
+            for neighbor in (*graph.successors(node),
+                             *graph.predecessors(node)):
+                if not seen[neighbor]:
+                    seen[neighbor] = True
+                    stack.append(neighbor)
+        components.append(tuple(sorted(members)))
+    return components

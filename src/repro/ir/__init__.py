@@ -1,0 +1,37 @@
+"""Loop intermediate representation and kernel frontend.
+
+This subpackage provides everything needed to describe the programs the
+paper optimizes: affine index expressions (:mod:`repro.ir.expr`), array
+declarations, accesses, access patterns and loops (:mod:`repro.ir.types`),
+a small C-like frontend (:mod:`repro.ir.lexer`, :mod:`repro.ir.parser`),
+a programmatic builder (:mod:`repro.ir.builder`) and a memory layout
+model (:mod:`repro.ir.layout`).
+"""
+
+from repro.ir.builder import LoopBuilder, loop_from_offsets, pattern_from_offsets
+from repro.ir.expr import AffineExpr
+from repro.ir.layout import MemoryLayout
+from repro.ir.parser import parse_kernel
+from repro.ir.types import (
+    AccessPattern,
+    ArrayAccess,
+    ArrayDecl,
+    Kernel,
+    Loop,
+    ScalarUse,
+)
+
+__all__ = [
+    "AffineExpr",
+    "AccessPattern",
+    "ArrayAccess",
+    "ArrayDecl",
+    "Kernel",
+    "Loop",
+    "LoopBuilder",
+    "MemoryLayout",
+    "ScalarUse",
+    "loop_from_offsets",
+    "parse_kernel",
+    "pattern_from_offsets",
+]

@@ -1,0 +1,151 @@
+"""Programmatic construction of loops and access patterns.
+
+Most of the library's algorithms operate on an :class:`AccessPattern`;
+this module provides the two common ways of making one without writing
+kernel source text:
+
+* :func:`pattern_from_offsets` -- the paper's setting: one array, index
+  coefficient 1, a list of constant offsets.
+* :class:`LoopBuilder` -- a fluent builder for multi-array kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.errors import IrError
+from repro.ir.expr import AffineExpr
+from repro.ir.types import (
+    AccessPattern,
+    ArrayAccess,
+    ArrayDecl,
+    Kernel,
+    Loop,
+    ScalarUse,
+)
+
+
+def pattern_from_offsets(offsets: Sequence[int], array: str = "A",
+                         step: int = 1, loop_var: str = "i") -> AccessPattern:
+    """Build the paper's single-array access pattern from offsets.
+
+    ``pattern_from_offsets([1, 0, 2, -1, 1, 0, -2])`` reproduces the
+    example loop of the paper's section 2: accesses ``A[i+1], A[i],
+    A[i+2], A[i-1], A[i+1], A[i], A[i-2]``.
+    """
+    accesses = tuple(
+        ArrayAccess(array, AffineExpr(1, int(offset), loop_var))
+        for offset in offsets)
+    return AccessPattern(accesses, step=step, loop_var=loop_var)
+
+
+def loop_from_offsets(offsets: Sequence[int], array: str = "A",
+                      step: int = 1, start: int = 0,
+                      n_iterations: int | None = None,
+                      loop_var: str = "i") -> Loop:
+    """Build a whole loop (with bounds) from a single-array offset list."""
+    pattern = pattern_from_offsets(offsets, array=array, step=step,
+                                   loop_var=loop_var)
+    return Loop(pattern, start=start, n_iterations=n_iterations)
+
+
+class LoopBuilder:
+    """Fluent builder for kernels with several arrays and scalars.
+
+    Example
+    -------
+    >>> kernel = (LoopBuilder("fir", loop_var="i", start=0, n_iterations=64)
+    ...           .array("x", length=256).array("h", length=8).array("y")
+    ...           .read("x", 0).read("h", 0).write("y", 0)
+    ...           .build())
+    >>> len(kernel.pattern)
+    3
+    """
+
+    def __init__(self, name: str = "kernel", loop_var: str = "i",
+                 start: int = 0, step: int = 1,
+                 n_iterations: int | None = None,
+                 bound_symbol: str | None = None,
+                 description: str = ""):
+        if step == 0:
+            raise IrError("loop step must be non-zero")
+        self._name = name
+        self._loop_var = loop_var
+        self._start = start
+        self._step = step
+        self._n_iterations = n_iterations
+        self._bound_symbol = bound_symbol
+        self._description = description
+        self._arrays: dict[str, ArrayDecl] = {}
+        self._accesses: list[ArrayAccess] = []
+        self._scalars: list[ScalarUse] = []
+
+    # ------------------------------------------------------------------
+    # Declarations
+    # ------------------------------------------------------------------
+    def array(self, name: str, element_size: int = 1,
+              length: int | None = None) -> "LoopBuilder":
+        """Declare an array; re-declaring the same name is an error."""
+        if name in self._arrays:
+            raise IrError(f"array {name!r} already declared")
+        self._arrays[name] = ArrayDecl(name, element_size=element_size,
+                                       length=length)
+        return self
+
+    # ------------------------------------------------------------------
+    # Body construction
+    # ------------------------------------------------------------------
+    def access(self, array: str, offset: int = 0, coefficient: int = 1,
+               is_write: bool = False, label: str | None = None) -> "LoopBuilder":
+        """Append an access ``array[coefficient*i + offset]``.
+
+        Arrays not declared explicitly are declared implicitly with the
+        default element size.
+        """
+        if array not in self._arrays:
+            self._arrays[array] = ArrayDecl(array)
+        index = AffineExpr(coefficient, offset, self._loop_var)
+        self._accesses.append(
+            ArrayAccess(array, index, is_write=is_write, label=label))
+        return self
+
+    def read(self, array: str, offset: int = 0, coefficient: int = 1,
+             label: str | None = None) -> "LoopBuilder":
+        """Append a read access (see :meth:`access`)."""
+        return self.access(array, offset, coefficient, is_write=False,
+                           label=label)
+
+    def write(self, array: str, offset: int = 0, coefficient: int = 1,
+              label: str | None = None) -> "LoopBuilder":
+        """Append a write access (see :meth:`access`)."""
+        return self.access(array, offset, coefficient, is_write=True,
+                           label=label)
+
+    def scalar(self, name: str, is_write: bool = False) -> "LoopBuilder":
+        """Record a scalar-variable use (offset-assignment substrate)."""
+        self._scalars.append(ScalarUse(name, is_write=is_write))
+        return self
+
+    # ------------------------------------------------------------------
+    # Finalization
+    # ------------------------------------------------------------------
+    def build_pattern(self) -> AccessPattern:
+        """The access pattern accumulated so far."""
+        return AccessPattern(tuple(self._accesses), step=self._step,
+                             loop_var=self._loop_var)
+
+    def build_loop(self) -> Loop:
+        """The loop accumulated so far."""
+        return Loop(self.build_pattern(), start=self._start,
+                    n_iterations=self._n_iterations,
+                    bound_symbol=self._bound_symbol)
+
+    def build(self) -> Kernel:
+        """The full kernel (loop + declarations + scalar uses)."""
+        return Kernel(
+            name=self._name,
+            loop=self.build_loop(),
+            arrays=tuple(self._arrays.values()),
+            scalar_uses=tuple(self._scalars),
+            description=self._description,
+        )

@@ -1,0 +1,137 @@
+"""Affine index expressions ``coefficient * var + offset``.
+
+The paper's program model indexes arrays with expressions of the form
+``i + d`` for a loop variable ``i`` and a constant ``d``.  We implement
+the slightly more general affine form ``c*i + d`` -- the address distance
+between two accesses is loop-invariant whenever their coefficients agree,
+so everything in the paper carries over to equal-coefficient groups
+(coefficient 1 being the paper's case, coefficient 0 a loop-invariant
+access).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import IrError
+
+
+@dataclass(frozen=True, order=True)
+class AffineExpr:
+    """An affine expression ``coefficient * var + offset``.
+
+    ``var`` is symbolic (the loop variable name); arithmetic between two
+    expressions is only defined when their variables match or one side is
+    constant.
+    """
+
+    coefficient: int
+    offset: int
+    var: str = "i"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.coefficient, int) or isinstance(self.coefficient, bool):
+            raise IrError(f"coefficient must be an int, got {self.coefficient!r}")
+        if not isinstance(self.offset, int) or isinstance(self.offset, bool):
+            raise IrError(f"offset must be an int, got {self.offset!r}")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def constant(cls, value: int, var: str = "i") -> "AffineExpr":
+        """The constant expression ``value`` (coefficient 0)."""
+        return cls(0, value, var)
+
+    @classmethod
+    def variable(cls, var: str = "i") -> "AffineExpr":
+        """The expression ``var`` itself (coefficient 1, offset 0)."""
+        return cls(1, 0, var)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def is_constant(self) -> bool:
+        """True when the expression does not depend on the variable."""
+        return self.coefficient == 0
+
+    def evaluate(self, value: int) -> int:
+        """Value of the expression for ``var = value``."""
+        return self.coefficient * value + self.offset
+
+    def distance_to(self, other: "AffineExpr") -> int | None:
+        """Loop-invariant distance ``other - self``, or None.
+
+        The distance is a compile-time constant exactly when both
+        expressions have the same coefficient (and variable); otherwise
+        it varies with the loop counter and ``None`` is returned.
+        """
+        if not isinstance(other, AffineExpr):
+            raise IrError(f"cannot take distance to {other!r}")
+        if self.coefficient != other.coefficient:
+            return None
+        if self.coefficient != 0 and self.var != other.var:
+            return None
+        return other.offset - self.offset
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def _check_compatible(self, other: "AffineExpr") -> None:
+        if (self.coefficient != 0 and other.coefficient != 0
+                and self.var != other.var):
+            raise IrError(
+                f"cannot combine expressions over different variables "
+                f"{self.var!r} and {other.var!r}")
+
+    def __add__(self, other: "AffineExpr | int") -> "AffineExpr":
+        if isinstance(other, int):
+            other = AffineExpr.constant(other, self.var)
+        self._check_compatible(other)
+        var = self.var if self.coefficient != 0 else other.var
+        return AffineExpr(self.coefficient + other.coefficient,
+                          self.offset + other.offset, var)
+
+    def __radd__(self, other: int) -> "AffineExpr":
+        return self.__add__(other)
+
+    def __sub__(self, other: "AffineExpr | int") -> "AffineExpr":
+        if isinstance(other, int):
+            other = AffineExpr.constant(other, self.var)
+        return self.__add__(AffineExpr(-other.coefficient, -other.offset,
+                                       other.var))
+
+    def __rsub__(self, other: int) -> "AffineExpr":
+        return AffineExpr.constant(other, self.var).__sub__(self)
+
+    def __neg__(self) -> "AffineExpr":
+        return AffineExpr(-self.coefficient, -self.offset, self.var)
+
+    def __mul__(self, factor: int) -> "AffineExpr":
+        if not isinstance(factor, int) or isinstance(factor, bool):
+            raise IrError(
+                f"affine expressions can only be scaled by integers, "
+                f"got {factor!r}")
+        return AffineExpr(self.coefficient * factor, self.offset * factor,
+                          self.var)
+
+    def __rmul__(self, factor: int) -> "AffineExpr":
+        return self.__mul__(factor)
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def __str__(self) -> str:
+        if self.coefficient == 0:
+            return str(self.offset)
+        if self.coefficient == 1:
+            head = self.var
+        elif self.coefficient == -1:
+            head = f"-{self.var}"
+        else:
+            head = f"{self.coefficient}*{self.var}"
+        if self.offset == 0:
+            return head
+        sign = "+" if self.offset > 0 else "-"
+        return f"{head}{sign}{abs(self.offset)}"

@@ -1,0 +1,153 @@
+"""Memory layout: mapping arrays to concrete base addresses.
+
+The paper assumes "a linear arrangement of array elements in a contiguous
+address space".  :class:`MemoryLayout` realizes that assumption and lets
+the AGU simulator turn an :class:`~repro.ir.types.ArrayAccess` plus a
+loop-variable value into a concrete address.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from repro.errors import LayoutError
+from repro.ir.types import ArrayAccess, ArrayDecl, Kernel
+
+
+@dataclass(frozen=True)
+class ArrayPlacement:
+    """An array placed at a concrete base address."""
+
+    decl: ArrayDecl
+    base: int
+
+    @property
+    def name(self) -> str:
+        return self.decl.name
+
+    @property
+    def size(self) -> int | None:
+        """Footprint in address units, when the length is known."""
+        if self.decl.length is None:
+            return None
+        return self.decl.length * self.decl.element_size
+
+    @property
+    def end(self) -> int | None:
+        """One past the last address unit, when the length is known."""
+        size = self.size
+        return None if size is None else self.base + size
+
+
+class MemoryLayout:
+    """Immutable assignment of base addresses to arrays.
+
+    Use :meth:`contiguous` to pack arrays back-to-back (optionally with a
+    guard gap so that accesses to different arrays are never within the
+    AGU auto-modify range of each other), or :meth:`explicit` for full
+    control.
+    """
+
+    #: Default length assumed for arrays declared without one, so that a
+    #: contiguous layout can always be produced.  128 words is far beyond
+    #: any realistic AGU auto-modify range, which is what matters here.
+    DEFAULT_LENGTH = 128
+
+    def __init__(self, placements: Iterable[ArrayPlacement]):
+        self._placements: dict[str, ArrayPlacement] = {}
+        for placement in placements:
+            if placement.name in self._placements:
+                raise LayoutError(
+                    f"array {placement.name!r} placed twice")
+            if placement.base < 0:
+                raise LayoutError(
+                    f"array {placement.name!r} has negative base "
+                    f"{placement.base}")
+            self._placements[placement.name] = placement
+        self._check_overlaps()
+
+    def _check_overlaps(self) -> None:
+        placed = sorted(self._placements.values(), key=lambda p: p.base)
+        for first, second in zip(placed, placed[1:]):
+            end = first.end
+            if end is not None and second.base < end:
+                raise LayoutError(
+                    f"arrays {first.name!r} (ends at {end}) and "
+                    f"{second.name!r} (starts at {second.base}) overlap")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def contiguous(cls, arrays: Iterable[ArrayDecl], origin: int = 0,
+                   gap: int = 0) -> "MemoryLayout":
+        """Pack arrays back-to-back starting at ``origin``.
+
+        Arrays with unknown length are given :data:`DEFAULT_LENGTH`
+        elements of room.  ``gap`` address units are inserted between
+        consecutive arrays.
+        """
+        placements = []
+        cursor = origin
+        for decl in arrays:
+            placements.append(ArrayPlacement(decl, cursor))
+            length = decl.length if decl.length is not None \
+                else cls.DEFAULT_LENGTH
+            cursor += length * decl.element_size + gap
+        return cls(placements)
+
+    @classmethod
+    def explicit(cls, bases: Mapping[str, int],
+                 decls: Iterable[ArrayDecl]) -> "MemoryLayout":
+        """Place each declared array at the base given in ``bases``."""
+        decls = list(decls)
+        known = {decl.name for decl in decls}
+        missing = sorted(set(bases) - known)
+        if missing:
+            raise LayoutError(f"bases given for undeclared arrays: {missing}")
+        placements = []
+        for decl in decls:
+            if decl.name not in bases:
+                raise LayoutError(f"no base address for array {decl.name!r}")
+            placements.append(ArrayPlacement(decl, bases[decl.name]))
+        return cls(placements)
+
+    @classmethod
+    def for_kernel(cls, kernel: Kernel, origin: int = 0,
+                   gap: int = 0) -> "MemoryLayout":
+        """Contiguous layout over a kernel's declared arrays."""
+        return cls.contiguous(kernel.arrays, origin=origin, gap=gap)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def placement(self, array: str) -> ArrayPlacement:
+        """Placement of the named array."""
+        try:
+            return self._placements[array]
+        except KeyError:
+            raise LayoutError(f"array {array!r} is not placed") from None
+
+    def base(self, array: str) -> int:
+        """Base address of the named array."""
+        return self.placement(array).base
+
+    def arrays(self) -> tuple[str, ...]:
+        """Placed array names, in insertion order."""
+        return tuple(self._placements)
+
+    def address_of(self, access: ArrayAccess, loop_value: int) -> int:
+        """Concrete address of ``access`` when the loop variable equals
+        ``loop_value``."""
+        placement = self.placement(access.array)
+        element = access.index.evaluate(loop_value)
+        return placement.base + element * placement.decl.element_size
+
+    def __contains__(self, array: str) -> bool:
+        return array in self._placements
+
+    def __repr__(self) -> str:
+        body = ", ".join(f"{p.name}@{p.base}"
+                         for p in self._placements.values())
+        return f"MemoryLayout({body})"

@@ -1,0 +1,34 @@
+"""Phase 2 of the paper's algorithm: meeting the register constraint.
+
+When ``K~ > K``, the path set must shrink by merging paths (section
+3.2).  This subpackage provides the cost model ``C(P)``
+(:mod:`repro.merging.cost`), the paper's best-pair greedy merging
+(:mod:`repro.merging.greedy`), the naive arbitrary-merging baselines of
+the Results section (:mod:`repro.merging.naive`), and an exhaustive
+optimal allocator used as a reference on small instances
+(:mod:`repro.merging.exhaustive`).
+"""
+
+from repro.merging.cost import (
+    CostModel,
+    cover_cost,
+    merge_cost,
+    path_cost,
+)
+from repro.merging.exhaustive import OptimalAllocation, optimal_allocation
+from repro.merging.greedy import MergeResult, MergeStep, best_pair_merge
+from repro.merging.naive import NAIVE_STRATEGIES, naive_merge
+
+__all__ = [
+    "CostModel",
+    "MergeResult",
+    "MergeStep",
+    "NAIVE_STRATEGIES",
+    "OptimalAllocation",
+    "best_pair_merge",
+    "cover_cost",
+    "merge_cost",
+    "naive_merge",
+    "optimal_allocation",
+    "path_cost",
+]

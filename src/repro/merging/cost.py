@@ -1,0 +1,84 @@
+"""Path costs ``C(P)`` and the cost model of the paper.
+
+Section 3.2 defines the cost of a path ``P = (a_i1, ..., a_in)`` as the
+number of consecutive pairs whose address distance exceeds the modify
+range ``M`` -- the number of unit-cost address computations the register
+serving ``P`` needs per loop iteration.
+
+Two variants are provided:
+
+* :attr:`CostModel.INTRA` -- the literal formula above: only pairs
+  within the iteration count.
+* :attr:`CostModel.STEADY_STATE` -- additionally counts the wrap-around
+  transition (from the path's last access back to its first access of
+  the next iteration) when it is not free.  This is what phase 1's
+  zero-cost definition uses and what generated code actually pays per
+  iteration in a steady-state loop, so it is the library default.
+
+Transitions whose distance is not a compile-time constant (different
+arrays, different index coefficients) always cost one unit.
+"""
+
+from __future__ import annotations
+
+from enum import Enum, unique
+from typing import Iterable
+
+from repro.graph.distance import transition_cost
+from repro.ir.types import AccessPattern
+from repro.pathcover.paths import Path, PathCover
+from repro.pathcover.verify import path_intra_distances, path_wrap_distance
+
+
+@unique
+class CostModel(Enum):
+    """Which transitions of a path are charged."""
+
+    #: Only intra-iteration consecutive pairs (the paper's literal C(P)).
+    INTRA = "intra"
+    #: Intra pairs plus the inter-iteration wrap-around transition.
+    STEADY_STATE = "steady_state"
+
+
+def path_cost(path: Path, pattern: AccessPattern, modify_range: int,
+              model: CostModel = CostModel.STEADY_STATE,
+              free_deltas: frozenset[int] = frozenset()) -> int:
+    """Number of unit-cost address computations of one path.
+
+    Under :attr:`CostModel.STEADY_STATE` this is the per-iteration count
+    of extra instructions for the register serving ``path`` in a
+    steady-state loop.  ``free_deltas`` extends the free set for AGUs
+    with modify registers (see :mod:`repro.modreg`).
+    """
+    cost = sum(transition_cost(distance, modify_range, free_deltas)
+               for distance in path_intra_distances(path, pattern))
+    if model is CostModel.STEADY_STATE:
+        cost += transition_cost(path_wrap_distance(path, pattern),
+                                modify_range, free_deltas)
+    return cost
+
+
+def cover_cost(paths: PathCover | Iterable[Path], pattern: AccessPattern,
+               modify_range: int,
+               model: CostModel = CostModel.STEADY_STATE,
+               free_deltas: frozenset[int] = frozenset()) -> int:
+    """Total unit-cost address computations of an allocation.
+
+    The allocation's cost is simply the sum of its path costs: registers
+    are independent of each other.
+    """
+    return sum(path_cost(path, pattern, modify_range, model, free_deltas)
+               for path in paths)
+
+
+def merge_cost(first: Path, second: Path, pattern: AccessPattern,
+               modify_range: int,
+               model: CostModel = CostModel.STEADY_STATE,
+               free_deltas: frozenset[int] = frozenset()) -> int:
+    """Cost ``C(P_i (+) P_j)`` of the would-be merged path.
+
+    This is the quantity the paper's phase-2 heuristic minimizes over
+    all path pairs.
+    """
+    return path_cost(first.merge(second), pattern, modify_range, model,
+                     free_deltas)

@@ -1,0 +1,95 @@
+"""Best-pair path merging: the paper's phase-2 heuristic (section 3.2).
+
+While more paths exist than physical registers, select the pair
+``(P_i, P_j)`` whose merged cost ``C(P_i (+) P_j)`` is minimal among all
+pairs, replace the two paths by their merge, and repeat.  Ties are
+broken deterministically towards the lexicographically first pair (by
+first access position), so results are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError
+from repro.ir.types import AccessPattern
+from repro.merging.cost import CostModel, cover_cost, path_cost
+from repro.pathcover.paths import Path, PathCover
+
+
+@dataclass(frozen=True)
+class MergeStep:
+    """One merge performed while reducing the path count."""
+
+    left: Path
+    right: Path
+    merged: Path
+    merged_cost: int
+
+    def __str__(self) -> str:
+        return (f"{self.left} (+) {self.right} -> {self.merged} "
+                f"[C={self.merged_cost}]")
+
+
+@dataclass(frozen=True)
+class MergeResult:
+    """Final allocation after merging down to the register limit."""
+
+    cover: PathCover
+    total_cost: int
+    steps: tuple[MergeStep, ...] = field(default=())
+    strategy: str = "best_pair"
+
+    @property
+    def n_registers(self) -> int:
+        return self.cover.n_paths
+
+
+def best_pair_merge(cover: PathCover, n_registers: int,
+                    pattern: AccessPattern, modify_range: int,
+                    model: CostModel = CostModel.STEADY_STATE,
+                    free_deltas: frozenset[int] = frozenset(),
+                    ) -> MergeResult:
+    """Merge paths until at most ``n_registers`` remain (paper phase 2).
+
+    The input cover is typically phase 1's zero-cost cover (``K~``
+    paths); any valid cover works, e.g. the intra-only fallback cover
+    used when no zero-cost cover exists.  ``free_deltas`` extends the
+    free-transition set for the modify-register extension
+    (:mod:`repro.modreg`).
+    """
+    if n_registers < 1:
+        raise AllocationError(
+            f"need at least one address register, got {n_registers}")
+    if cover.n_accesses != len(pattern):
+        raise AllocationError(
+            f"cover is over {cover.n_accesses} accesses but the pattern "
+            f"has {len(pattern)}")
+
+    paths: list[Path] = list(cover)
+    steps: list[MergeStep] = []
+    while len(paths) > n_registers:
+        best_pair: tuple[int, int] | None = None
+        best_key: tuple[int, int, int] | None = None
+        # Canonical order makes tie-breaking deterministic.
+        paths.sort(key=lambda path: path.first)
+        for i in range(len(paths)):
+            for j in range(i + 1, len(paths)):
+                merged_cost = path_cost(paths[i].merge(paths[j]), pattern,
+                                        modify_range, model, free_deltas)
+                key = (merged_cost, paths[i].first, paths[j].first)
+                if best_key is None or key < best_key:
+                    best_key = key
+                    best_pair = (i, j)
+        assert best_pair is not None and best_key is not None
+        i, j = best_pair
+        merged = paths[i].merge(paths[j])
+        steps.append(MergeStep(paths[i], paths[j], merged, best_key[0]))
+        # Remove j first (j > i) so i's index stays valid.
+        del paths[j]
+        del paths[i]
+        paths.append(merged)
+
+    final = PathCover(tuple(paths), cover.n_accesses)
+    total = cover_cost(final, pattern, modify_range, model, free_deltas)
+    return MergeResult(final, total, tuple(steps), strategy="best_pair")

@@ -1,0 +1,37 @@
+"""The modify-register (MR) extension of the paper's cost model.
+
+Classic DSP AGUs (ADSP-21xx "M" registers, DSP56k "N" registers, the
+TMS320C2x index register) provide *modify registers*: each holds one
+constant, and post-modifying an address register by exactly that
+constant is free (``*(ARx)+MRj`` executes in parallel).  This extends
+the paper's zero-cost set from ``|d| <= M`` to ``|d| <= M or d in V``
+for a chosen value set ``V`` with ``|V| <= R`` (the MR count).
+
+The extension decomposes cleanly:
+
+* :func:`select_modify_values` -- given a *fixed* allocation, the
+  optimal ``V`` is simply the ``R`` most frequent non-free constant
+  deltas (each transition is covered by exactly one value, so greedy by
+  frequency is exact).
+* :func:`allocate_with_modify_registers` -- value selection changes the
+  cost landscape, so merging and selection are iterated to a fixed
+  point (never worse than the MR-free allocation, by construction).
+"""
+
+from repro.modreg.selection import (
+    delta_histogram,
+    residual_cost,
+    select_modify_values,
+)
+from repro.modreg.refine import (
+    ModRegAllocation,
+    allocate_with_modify_registers,
+)
+
+__all__ = [
+    "ModRegAllocation",
+    "allocate_with_modify_registers",
+    "delta_histogram",
+    "residual_cost",
+    "select_modify_values",
+]

@@ -1,0 +1,66 @@
+"""Optimal modify-register value selection for a fixed allocation.
+
+Every unit-cost transition of an allocation either has no compile-time
+constant distance (cross-array: an MR cannot help) or one specific
+constant delta.  Preloading value ``v`` into a modify register makes
+exactly the transitions with delta ``v`` free.  Values therefore cover
+disjoint transition sets, and picking the ``R`` most frequent deltas is
+*exactly* optimal -- no search needed.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro.ir.types import AccessPattern
+from repro.merging.cost import CostModel, cover_cost
+from repro.pathcover.paths import PathCover
+from repro.pathcover.verify import path_intra_distances, path_wrap_distance
+
+
+def delta_histogram(cover: PathCover, pattern: AccessPattern,
+                    modify_range: int,
+                    model: CostModel = CostModel.STEADY_STATE,
+                    ) -> Counter[int]:
+    """Histogram of the constant deltas of all unit-cost transitions.
+
+    Transitions already free (``|d| <= M``) and transitions without a
+    constant distance (cross-array) are excluded -- modify registers
+    can help with neither.
+    """
+    histogram: Counter[int] = Counter()
+    for path in cover:
+        distances = list(path_intra_distances(path, pattern))
+        if model is CostModel.STEADY_STATE:
+            distances.append(path_wrap_distance(path, pattern))
+        for distance in distances:
+            if distance is not None and abs(distance) > modify_range:
+                histogram[distance] += 1
+    return histogram
+
+
+def select_modify_values(cover: PathCover, pattern: AccessPattern,
+                         modify_range: int, n_modify_registers: int,
+                         model: CostModel = CostModel.STEADY_STATE,
+                         ) -> tuple[int, ...]:
+    """The optimal value set for up to ``n_modify_registers`` MRs.
+
+    Returns the most frequent unit-cost deltas (ties broken towards
+    smaller absolute value, then positive, for determinism).  May return
+    fewer values than registers when fewer distinct deltas exist.
+    """
+    if n_modify_registers <= 0:
+        return ()
+    histogram = delta_histogram(cover, pattern, modify_range, model)
+    ranked = sorted(histogram.items(),
+                    key=lambda item: (-item[1], abs(item[0]), item[0] < 0))
+    return tuple(delta for delta, _count in
+                 ranked[:n_modify_registers])
+
+
+def residual_cost(cover: PathCover, pattern: AccessPattern,
+                  modify_range: int, values: tuple[int, ...],
+                  model: CostModel = CostModel.STEADY_STATE) -> int:
+    """Allocation cost once the given MR values are free."""
+    return cover_cost(cover, pattern, modify_range, model,
+                      free_deltas=frozenset(values))

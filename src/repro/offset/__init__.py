@@ -1,0 +1,52 @@
+"""Scalar-variable offset assignment (the paper's refs [4, 5]).
+
+The paper positions its array-addressing technique as "complementary to
+work done on optimized addressing of scalar program variables": simple
+offset assignment (SOA) chooses a memory layout for scalars so that one
+auto-inc/dec address register can walk the access sequence as freely as
+possible, and general offset assignment (GOA) splits the variables over
+``k`` address registers.  This subpackage implements:
+
+* :func:`~repro.offset.soa.ofu_assignment` -- the order-of-first-use
+  baseline layout;
+* :func:`~repro.offset.soa.liao_soa` -- Liao et al.'s maximum-weight
+  path-cover heuristic (ref [4]);
+* :func:`~repro.offset.soa.tiebreak_soa` -- the Leupers/Marwedel
+  tie-break refinement (ref [5]);
+* :func:`~repro.offset.soa.optimal_assignment` -- brute-force optimum
+  for small variable counts (test oracle);
+* :mod:`repro.offset.goa` -- GOA partitioning over ``k`` registers.
+"""
+
+from repro.offset.access_graph import VariableAccessGraph
+from repro.offset.goa import (
+    GoaResult,
+    goa_cost,
+    goa_first_use,
+    goa_greedy,
+    optimal_goa,
+)
+from repro.offset.sequence import AccessSequence, random_sequence
+from repro.offset.soa import (
+    assignment_cost,
+    liao_soa,
+    ofu_assignment,
+    optimal_assignment,
+    tiebreak_soa,
+)
+
+__all__ = [
+    "AccessSequence",
+    "GoaResult",
+    "VariableAccessGraph",
+    "assignment_cost",
+    "goa_cost",
+    "goa_first_use",
+    "goa_greedy",
+    "liao_soa",
+    "ofu_assignment",
+    "optimal_assignment",
+    "optimal_goa",
+    "random_sequence",
+    "tiebreak_soa",
+]

@@ -1,0 +1,61 @@
+"""The weighted variable access graph of offset assignment.
+
+Vertices are the scalar variables; the weight of edge ``{u, v}`` counts
+how often ``u`` and ``v`` are accessed consecutively.  An assignment
+that lays a path of this graph out contiguously makes all its
+transitions free (auto-inc/dec), so SOA is a maximum-weight path cover
+problem -- Liao et al.'s formulation (ref [4]).
+"""
+
+from __future__ import annotations
+
+from repro.offset.sequence import AccessSequence
+
+
+class VariableAccessGraph:
+    """Undirected weighted graph over a sequence's variables."""
+
+    def __init__(self, sequence: AccessSequence):
+        self._variables = sequence.variables()
+        weights: dict[frozenset[str], int] = {}
+        for a, b in sequence.transitions():
+            key = frozenset((a, b))
+            weights[key] = weights.get(key, 0) + 1
+        self._weights = weights
+
+    @property
+    def variables(self) -> tuple[str, ...]:
+        """Vertices, in first-use order."""
+        return self._variables
+
+    def weight(self, u: str, v: str) -> int:
+        """Transition count between two variables (0 when never
+        adjacent)."""
+        return self._weights.get(frozenset((u, v)), 0)
+
+    def edges(self) -> list[tuple[int, str, str]]:
+        """All edges as ``(weight, u, v)`` with ``u < v``."""
+        result = []
+        for key, weight in self._weights.items():
+            u, v = sorted(key)
+            result.append((weight, u, v))
+        return result
+
+    def incident_weight(self, vertex: str) -> int:
+        """Sum of weights of all edges at ``vertex``.
+
+        Used by the Leupers/Marwedel tie-break: when edge weights are
+        equal, prefer edges at "poor" vertices, whose remaining
+        opportunities are fewer.
+        """
+        return sum(weight for key, weight in self._weights.items()
+                   if vertex in key)
+
+    @property
+    def total_weight(self) -> int:
+        """Sum of all edge weights = number of costable transitions."""
+        return sum(self._weights.values())
+
+    def __repr__(self) -> str:
+        return (f"VariableAccessGraph(|V|={len(self._variables)}, "
+                f"|E|={len(self._weights)}, W={self.total_weight})")

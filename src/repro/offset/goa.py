@@ -1,0 +1,199 @@
+"""General offset assignment: scalars over ``k`` address registers.
+
+GOA partitions the variables into at most ``k`` groups, gives each group
+its own address register and contiguous memory region, and pays the SOA
+cost of each register's *projected* access subsequence.  (Register setup
+costs are reported separately as ``n_registers``; they are one-time,
+not per-iteration.)
+
+Two partitioners are provided:
+
+* :func:`goa_first_use` -- deal variables round-robin by first use
+  (baseline);
+* :func:`goa_greedy` -- local search: start from one group (pure SOA)
+  and repeatedly apply the single-variable move (to another or a new
+  group) that lowers total cost the most.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import OffsetAssignmentError
+from repro.offset.sequence import AccessSequence
+from repro.offset.soa import Assignment, assignment_cost, tiebreak_soa
+
+
+@dataclass(frozen=True)
+class GoaResult:
+    """A GOA partition with its per-register layouts and total cost."""
+
+    groups: tuple[Assignment, ...]
+    cost: int
+
+    @property
+    def n_registers(self) -> int:
+        return len(self.groups)
+
+
+def goa_cost(groups: tuple[tuple[str, ...], ...] | list[list[str]],
+             sequence: AccessSequence, auto_range: int = 1) -> int:
+    """Total SOA cost of a partition's projected subsequences.
+
+    Each group is evaluated with the layout order given; use
+    :func:`soa_layouts` to re-optimize layouts first.
+    """
+    seen: set[str] = set()
+    for group in groups:
+        for name in group:
+            if name in seen:
+                raise OffsetAssignmentError(
+                    f"variable {name!r} in two groups")
+            seen.add(name)
+    missing = [name for name in sequence.variables() if name not in seen]
+    if missing:
+        raise OffsetAssignmentError(f"partition misses variables {missing}")
+    total = 0
+    for group in groups:
+        projected = sequence.project(frozenset(group))
+        total += assignment_cost(tuple(group), projected, auto_range)
+    return total
+
+
+def soa_layouts(partition: list[list[str]],
+                sequence: AccessSequence) -> tuple[Assignment, ...]:
+    """Optimize each group's internal layout with the SOA heuristic."""
+    layouts = []
+    for group in partition:
+        projected = sequence.project(frozenset(group))
+        layout = tiebreak_soa(projected)
+        # Variables that never appear in the projection keep their
+        # relative order at the end.
+        tail = tuple(name for name in group if name not in layout)
+        layouts.append(layout + tail)
+    return tuple(layouts)
+
+
+def optimal_goa(sequence: AccessSequence, n_registers: int,
+                auto_range: int = 1,
+                max_variables: int = 7) -> GoaResult:
+    """Exhaustive GOA optimum for tiny instances (test oracle).
+
+    Enumerates all partitions of the variables into at most
+    ``n_registers`` groups (Stirling-number many) and, per group,
+    optimizes the layout exhaustively.  Guarded by ``max_variables``.
+    """
+    if n_registers < 1:
+        raise OffsetAssignmentError(
+            f"n_registers must be >= 1, got {n_registers}")
+    variables = sequence.variables()
+    if len(variables) > max_variables:
+        raise OffsetAssignmentError(
+            f"{len(variables)} variables exceed the exhaustive-GOA "
+            f"guard of {max_variables}")
+    if not variables:
+        return GoaResult((), 0)
+
+    from repro.offset.soa import optimal_assignment
+
+    best_groups: tuple[Assignment, ...] | None = None
+    best_cost: int | None = None
+
+    def partitions(items: list[str], limit: int):
+        if not items:
+            yield []
+            return
+        head, *rest = items
+        for partial in partitions(rest, limit):
+            for index in range(len(partial)):
+                partial[index].append(head)
+                yield partial
+                partial[index].pop()
+            if len(partial) < limit:
+                partial.append([head])
+                yield partial
+                partial.pop()
+
+    for partition in partitions(list(variables), n_registers):
+        layouts = []
+        cost = 0
+        for group in partition:
+            projected = sequence.project(frozenset(group))
+            layout = optimal_assignment(projected,
+                                        auto_range=auto_range)
+            tail = tuple(name for name in group if name not in layout)
+            layouts.append(layout + tail)
+            cost += assignment_cost(layouts[-1], projected, auto_range)
+        if best_cost is None or cost < best_cost:
+            best_cost = cost
+            best_groups = tuple(layouts)
+    assert best_groups is not None and best_cost is not None
+    return GoaResult(best_groups, best_cost)
+
+
+def goa_first_use(sequence: AccessSequence, n_registers: int,
+                  auto_range: int = 1) -> GoaResult:
+    """Round-robin-by-first-use baseline partition."""
+    if n_registers < 1:
+        raise OffsetAssignmentError(
+            f"n_registers must be >= 1, got {n_registers}")
+    variables = sequence.variables()
+    partition: list[list[str]] = [[] for _ in range(
+        min(n_registers, max(1, len(variables))))]
+    for index, name in enumerate(variables):
+        partition[index % len(partition)].append(name)
+    partition = [group for group in partition if group]
+    layouts = tuple(tuple(group) for group in partition)
+    return GoaResult(layouts, goa_cost(layouts, sequence, auto_range))
+
+
+def goa_greedy(sequence: AccessSequence, n_registers: int,
+               auto_range: int = 1, max_rounds: int = 64) -> GoaResult:
+    """Local-search GOA: best single-variable move, until no gain.
+
+    Layouts are re-optimized with the SOA tie-break heuristic after
+    every move, so the search scores true (heuristic) SOA costs.
+    """
+    if n_registers < 1:
+        raise OffsetAssignmentError(
+            f"n_registers must be >= 1, got {n_registers}")
+    variables = list(sequence.variables())
+    if not variables:
+        return GoaResult((), 0)
+
+    partition: list[list[str]] = [list(variables)]
+
+    def score(candidate: list[list[str]]) -> tuple[int, tuple[Assignment, ...]]:
+        layouts = soa_layouts(candidate, sequence)
+        return goa_cost(layouts, sequence, auto_range), layouts
+
+    best_cost, best_layouts = score(partition)
+    for _round in range(max_rounds):
+        improved = False
+        move_best: tuple[int, list[list[str]]] | None = None
+        for source_index, group in enumerate(partition):
+            for name in group:
+                targets = list(range(len(partition)))
+                if len(partition) < n_registers:
+                    targets.append(len(partition))  # a brand-new group
+                for target_index in targets:
+                    if target_index == source_index:
+                        continue
+                    candidate = [list(g) for g in partition]
+                    candidate[source_index].remove(name)
+                    if target_index == len(candidate):
+                        candidate.append([name])
+                    else:
+                        candidate[target_index].append(name)
+                    candidate = [g for g in candidate if g]
+                    cost, _layouts = score(candidate)
+                    if move_best is None or cost < move_best[0]:
+                        move_best = (cost, candidate)
+        if move_best is not None and move_best[0] < best_cost:
+            best_cost = move_best[0]
+            partition = move_best[1]
+            best_layouts = soa_layouts(partition, sequence)
+            improved = True
+        if not improved:
+            break
+    return GoaResult(best_layouts, best_cost)

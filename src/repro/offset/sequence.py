@@ -1,0 +1,106 @@
+"""Scalar access sequences: the input of offset assignment.
+
+An :class:`AccessSequence` is simply the ordered list of scalar-variable
+names a basic block touches.  It can come from the kernel frontend
+(scalar uses recorded by the parser) or from the seeded random generator
+used by experiment EXP-O1.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import OffsetAssignmentError
+from repro.ir.types import Kernel
+
+
+@dataclass(frozen=True)
+class AccessSequence:
+    """An ordered sequence of scalar-variable accesses."""
+
+    names: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.names, tuple):
+            object.__setattr__(self, "names", tuple(self.names))
+        for name in self.names:
+            if not name or not name.isidentifier():
+                raise OffsetAssignmentError(
+                    f"invalid variable name {name!r}")
+
+    @classmethod
+    def from_kernel(cls, kernel: Kernel) -> "AccessSequence":
+        """The kernel's scalar uses, in program order."""
+        return cls(kernel.scalar_sequence())
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names)
+
+    def variables(self) -> tuple[str, ...]:
+        """Distinct variables in order of first use."""
+        seen: dict[str, None] = {}
+        for name in self.names:
+            seen.setdefault(name, None)
+        return tuple(seen)
+
+    def transitions(self) -> list[tuple[str, str]]:
+        """Consecutive access pairs with distinct variables.
+
+        Same-variable repetitions are dropped: the register does not
+        move, so they can never cost anything.
+        """
+        return [(a, b) for a, b in zip(self.names, self.names[1:])
+                if a != b]
+
+    def project(self, keep: set[str] | frozenset[str]) -> "AccessSequence":
+        """The subsequence touching only the given variables.
+
+        This is how GOA evaluates one register's share of the work.
+        """
+        return AccessSequence(tuple(name for name in self.names
+                                    if name in keep))
+
+    def __str__(self) -> str:
+        return " ".join(self.names)
+
+
+def random_sequence(n_variables: int, length: int,
+                    seed: int = 0,
+                    locality: float = 0.5) -> AccessSequence:
+    """A seeded random access sequence over ``v0 .. v{n-1}``.
+
+    ``locality`` in ``[0, 1]`` is the probability that the next access
+    reuses one of the two most recent variables -- real basic blocks
+    revisit a working set rather than sampling uniformly.
+    """
+    if n_variables < 1:
+        raise OffsetAssignmentError(
+            f"n_variables must be >= 1, got {n_variables}")
+    if length < 0:
+        raise OffsetAssignmentError(f"length must be >= 0, got {length}")
+    if not 0.0 <= locality <= 1.0:
+        raise OffsetAssignmentError(
+            f"locality must be in [0, 1], got {locality}")
+    rng = random.Random(seed)
+    variables = [f"v{index}" for index in range(n_variables)]
+    names: list[str] = []
+    recent: list[str] = []
+    for _ in range(length):
+        if recent and rng.random() < locality:
+            name = rng.choice(recent)
+        else:
+            name = rng.choice(variables)
+        names.append(name)
+        if name in recent:
+            recent.remove(name)
+        recent.insert(0, name)
+        del recent[2:]
+    return AccessSequence(tuple(names))

@@ -1,0 +1,166 @@
+"""Simple offset assignment: heuristics and the brute-force optimum.
+
+An *assignment* is an ordering of the variables: the variable at index
+``j`` lives at offset ``j``.  A transition between consecutively
+accessed variables is free when their offsets differ by at most the
+auto-modify range (1 for plain auto-inc/dec); every other transition
+costs one extra instruction.  SOA asks for the ordering minimizing the
+total cost of a given access sequence.
+
+* :func:`ofu_assignment` -- lay variables out in order of first use
+  (what a straightforward compiler does; the standard baseline).
+* :func:`liao_soa` -- Liao et al. (PLDI 1995, the paper's ref [4]):
+  greedy maximum-weight path cover of the access graph, Kruskal-style.
+* :func:`tiebreak_soa` -- Leupers/Marwedel (ICCAD 1996, ref [5]):
+  same skeleton, but equal-weight edges are ordered by a tie-break that
+  prefers edges at vertices with little remaining weight.
+* :func:`optimal_assignment` -- exhaustive search over orderings
+  (factorial; a test oracle for small variable counts).
+"""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.errors import OffsetAssignmentError
+from repro.offset.access_graph import VariableAccessGraph
+from repro.offset.sequence import AccessSequence
+
+Assignment = tuple[str, ...]
+
+
+def assignment_cost(assignment: Assignment, sequence: AccessSequence,
+                    auto_range: int = 1) -> int:
+    """Unit-cost address computations of a layout on a sequence."""
+    if auto_range < 0:
+        raise OffsetAssignmentError(
+            f"auto_range must be >= 0, got {auto_range}")
+    position = {name: index for index, name in enumerate(assignment)}
+    missing = [name for name in sequence.variables()
+               if name not in position]
+    if missing:
+        raise OffsetAssignmentError(
+            f"assignment misses variables {missing}")
+    if len(position) != len(assignment):
+        raise OffsetAssignmentError("assignment repeats a variable")
+    return sum(1 for a, b in sequence.transitions()
+               if abs(position[a] - position[b]) > auto_range)
+
+
+def ofu_assignment(sequence: AccessSequence) -> Assignment:
+    """Order of first use: the naive compiler layout."""
+    return sequence.variables()
+
+
+def liao_soa(sequence: AccessSequence) -> Assignment:
+    """Liao's greedy path-cover heuristic (ref [4])."""
+    return _path_cover_soa(sequence, tie_break=False)
+
+
+def tiebreak_soa(sequence: AccessSequence) -> Assignment:
+    """Liao's heuristic with the Leupers/Marwedel tie-break (ref [5])."""
+    return _path_cover_soa(sequence, tie_break=True)
+
+
+def optimal_assignment(sequence: AccessSequence,
+                       auto_range: int = 1,
+                       max_variables: int = 9) -> Assignment:
+    """Exhaustive optimum over all orderings (test oracle).
+
+    Guarded by ``max_variables`` because the search is factorial.
+    """
+    variables = sequence.variables()
+    if len(variables) > max_variables:
+        raise OffsetAssignmentError(
+            f"{len(variables)} variables exceed the exhaustive-search "
+            f"guard of {max_variables}")
+    if not variables:
+        return ()
+    best: Assignment = variables
+    best_cost = assignment_cost(best, sequence, auto_range)
+    # The layout's mirror image has equal cost: pin the first variable's
+    # side to halve the search.
+    first = variables[0]
+    for permutation in itertools.permutations(variables):
+        if permutation[0] > permutation[-1] and first in (
+                permutation[0], permutation[-1]):
+            continue
+        cost = assignment_cost(permutation, sequence, auto_range)
+        if cost < best_cost:
+            best, best_cost = permutation, cost
+            if best_cost == 0:
+                break
+    return best
+
+
+# ----------------------------------------------------------------------
+# The shared greedy path-cover skeleton
+# ----------------------------------------------------------------------
+def _path_cover_soa(sequence: AccessSequence, tie_break: bool) -> Assignment:
+    graph = VariableAccessGraph(sequence)
+    variables = graph.variables
+    if not variables:
+        return ()
+
+    first_use = {name: index for index, name in enumerate(variables)}
+
+    def edge_key(edge: tuple[int, str, str]) -> tuple:
+        weight, u, v = edge
+        if tie_break:
+            # Prefer heavy edges; among equals, edges whose endpoints
+            # have little total weight elsewhere (they are hardest to
+            # serve later); finally first-use order for determinism.
+            lost = graph.incident_weight(u) + graph.incident_weight(v) \
+                - 2 * weight
+            return (-weight, lost, first_use[u], first_use[v])
+        return (-weight, first_use[u], first_use[v])
+
+    degree: dict[str, int] = {name: 0 for name in variables}
+    neighbor: dict[str, list[str]] = {name: [] for name in variables}
+    leader: dict[str, str] = {name: name for name in variables}
+
+    def find(name: str) -> str:
+        while leader[name] != name:
+            leader[name] = leader[leader[name]]
+            name = leader[name]
+        return name
+
+    for _weight, u, v in sorted(graph.edges(), key=edge_key):
+        if degree[u] >= 2 or degree[v] >= 2:
+            continue
+        if find(u) == find(v):
+            continue  # would close a cycle
+        degree[u] += 1
+        degree[v] += 1
+        neighbor[u].append(v)
+        neighbor[v].append(u)
+        leader[find(u)] = find(v)
+
+    # Walk out the chains; isolated variables become 1-element chains.
+    visited: set[str] = set()
+    chains: list[list[str]] = []
+    # Endpoints first (degree <= 1) so every chain is walked end-to-end.
+    for name in sorted(variables, key=lambda n: first_use[n]):
+        if name in visited or degree[name] > 1:
+            continue
+        chain = [name]
+        visited.add(name)
+        while True:
+            nexts = [other for other in neighbor[chain[-1]]
+                     if other not in visited]
+            if not nexts:
+                break
+            chain.append(nexts[0])
+            visited.add(nexts[0])
+        chains.append(chain)
+    # Any remaining unvisited vertices would sit on a cycle, which the
+    # union-find excludes; this is a genuine invariant.
+    unvisited = [name for name in variables if name not in visited]
+    if unvisited:
+        raise OffsetAssignmentError(
+            f"internal error: cycle in SOA path cover at {unvisited}")
+
+    layout: list[str] = []
+    for chain in chains:
+        layout.extend(chain)
+    return tuple(layout)

@@ -1,0 +1,246 @@
+"""Exact minimum zero-cost path cover: the branch-and-bound of ref [3].
+
+Computes ``K~``, the minimum number of virtual address registers that
+can serve all accesses with zero-cost address computations only, taking
+inter-iteration (wrap-around) dependencies into account -- the problem
+the paper declares exponential and solves with the fast branch-and-bound
+procedure of its companion paper [3].
+
+Search organisation
+-------------------
+Accesses are assigned in program order; each is either appended to an
+open path (requires a zero-cost intra edge from the path's tail) or
+opens a new path (a single canonical branch -- paths are identified by
+their first access, which breaks all permutation symmetry).  A leaf is a
+solution iff every path's wrap-around transition is free.
+
+Pruning:
+
+* **bound** -- a state with ``>= best`` open paths can never improve;
+  opening a new path is only allowed while ``open + 1 < best``;
+* **wrap feasibility** -- an open path whose wrap-around is not yet free
+  and for which no remaining access could serve as a free-wrapping last
+  element is a dead end;
+* **bootstrap** -- the matching lower bound and the greedy upper bound
+  (sections on refs [2] and the heuristic) initialise the incumbent;
+  search stops as soon as the incumbent meets the lower bound.
+
+Accesses to different arrays (or with different index coefficients)
+share no zero-cost edges, so the instance decomposes into independent
+per-group subproblems that are solved separately and recombined; this is
+both an optimization and how ``K~`` naturally splits per array.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import InfeasibleZeroCostCover, SearchBudgetExceeded
+from repro.graph.access_graph import AccessGraph
+from repro.graph.distance import intra_distance
+from repro.ir.types import AccessPattern
+from repro.pathcover.heuristic import greedy_zero_cost_cover
+from repro.pathcover.lower_bound import intra_cover_lower_bound
+from repro.pathcover.paths import Path, PathCover
+
+#: Default cap on explored search nodes per independent subproblem.
+DEFAULT_NODE_BUDGET = 200_000
+
+
+@dataclass(frozen=True)
+class CoverSearchResult:
+    """Outcome of the phase-1 search for ``K~``.
+
+    Attributes
+    ----------
+    cover:
+        A zero-cost path cover with ``k_tilde`` paths.
+    k_tilde:
+        Number of virtual registers (paths) found.
+    optimal:
+        True when the search proved minimality (no budget exhaustion).
+    lower_bound, upper_bound:
+        The bootstrap bounds (matching LB, greedy UB).
+    nodes_explored:
+        Total branch-and-bound nodes over all subproblems.
+    """
+
+    cover: PathCover
+    k_tilde: int
+    optimal: bool
+    lower_bound: int
+    upper_bound: int
+    nodes_explored: int
+
+
+def minimum_zero_cost_cover(
+        pattern: AccessPattern,
+        modify_range: int,
+        node_budget: int = DEFAULT_NODE_BUDGET,
+) -> CoverSearchResult:
+    """Compute ``K~`` and a witnessing zero-cost cover for a pattern.
+
+    Raises
+    ------
+    InfeasibleZeroCostCover
+        If no zero-cost cover exists at all (some access's per-iteration
+        step exceeds the modify range).
+    SearchBudgetExceeded
+        Never raised for the cover itself -- on budget exhaustion the
+        best cover found so far (at worst the greedy one) is returned
+        with ``optimal=False``.  Raised only if the budget dies before
+        *any* cover is known.
+    """
+    n = len(pattern)
+    if n == 0:
+        empty = PathCover((), 0)
+        return CoverSearchResult(empty, 0, True, 0, 0, 0)
+
+    groups: dict[tuple[str, int], list[int]] = {}
+    for position, access in enumerate(pattern):
+        groups.setdefault(access.group_key, []).append(position)
+
+    all_paths: list[Path] = []
+    lower_bound = 0
+    upper_bound = 0
+    nodes_total = 0
+    optimal = True
+    for positions in groups.values():
+        sub_pattern = AccessPattern(pattern.subsequence(positions),
+                                    step=pattern.step,
+                                    loop_var=pattern.loop_var)
+        outcome = _search_group(sub_pattern, modify_range, node_budget)
+        lower_bound += outcome.lower_bound
+        upper_bound += outcome.upper_bound
+        nodes_total += outcome.nodes_explored
+        optimal = optimal and outcome.optimal
+        for path in outcome.cover:
+            all_paths.append(
+                Path(tuple(positions[local] for local in path)))
+
+    cover = PathCover(tuple(all_paths), n)
+    return CoverSearchResult(cover, cover.n_paths, optimal, lower_bound,
+                             upper_bound, nodes_total)
+
+
+# ----------------------------------------------------------------------
+# Per-group exact search
+# ----------------------------------------------------------------------
+class _OpenPath:
+    """Mutable path under construction (first fixed, tail grows)."""
+
+    __slots__ = ("indices",)
+
+    def __init__(self, start: int):
+        self.indices = [start]
+
+    @property
+    def first(self) -> int:
+        return self.indices[0]
+
+    @property
+    def last(self) -> int:
+        return self.indices[-1]
+
+
+def _search_group(pattern: AccessPattern, modify_range: int,
+                  node_budget: int) -> CoverSearchResult:
+    graph = AccessGraph(pattern, modify_range)
+    n = graph.n_nodes
+    lower_bound = intra_cover_lower_bound(graph)
+
+    incumbent: PathCover | None
+    try:
+        incumbent = greedy_zero_cost_cover(graph)
+        upper_bound = incumbent.n_paths
+    except InfeasibleZeroCostCover:
+        incumbent = None
+        upper_bound = n + 1  # sentinel: any real cover beats it
+
+    if incumbent is not None and incumbent.n_paths == lower_bound:
+        return CoverSearchResult(incumbent, lower_bound, True, lower_bound,
+                                 upper_bound, 0)
+
+    # max_wrap_source[f]: latest position whose wrap-around to f is free.
+    max_wrap_source = [-1] * n
+    for source, target in graph.inter_edges:
+        if source > max_wrap_source[target]:
+            max_wrap_source[target] = source
+
+    best_size = incumbent.n_paths if incumbent is not None else n + 1
+    best_paths: list[tuple[int, ...]] | None = (
+        [tuple(path) for path in incumbent] if incumbent is not None else None)
+    open_paths: list[_OpenPath] = []
+    nodes = 0
+    budget_hit = False
+
+    def wrap_still_possible(path: _OpenPath, next_position: int) -> bool:
+        """Could this path still end with a free wrap-around?"""
+        if graph.has_inter_edge(path.last, path.first):
+            return True
+        return max_wrap_source[path.first] >= next_position
+
+    def descend(position: int) -> None:
+        nonlocal nodes, best_size, best_paths, budget_hit
+        if budget_hit or best_size == lower_bound:
+            return
+        nodes += 1
+        if nodes > node_budget:
+            budget_hit = True
+            return
+
+        if position == n:
+            if all(graph.has_inter_edge(path.last, path.first)
+                   for path in open_paths):
+                if len(open_paths) < best_size:
+                    best_size = len(open_paths)
+                    best_paths = [tuple(path.indices)
+                                  for path in open_paths]
+            return
+
+        if len(open_paths) >= best_size:
+            return
+        for path in open_paths:
+            if not wrap_still_possible(path, position):
+                return
+
+        # Extension branches, most promising first.
+        candidates: list[tuple[tuple[int, int, int], _OpenPath]] = []
+        for path in open_paths:
+            if not graph.has_intra_edge(path.last, position):
+                continue
+            distance = intra_distance(pattern[path.last], pattern[position])
+            assert distance is not None
+            closes = graph.has_inter_edge(position, path.first)
+            candidates.append(
+                ((0 if closes else 1, abs(distance), -path.last), path))
+        candidates.sort(key=lambda item: item[0])
+        for _key, path in candidates:
+            path.indices.append(position)
+            descend(position + 1)
+            path.indices.pop()
+            if budget_hit or best_size == lower_bound:
+                return
+
+        # Canonical new-path branch.
+        if len(open_paths) + 1 < best_size:
+            fresh = _OpenPath(position)
+            open_paths.append(fresh)
+            descend(position + 1)
+            open_paths.pop()
+
+    descend(0)
+
+    if best_paths is None:
+        if budget_hit:
+            raise SearchBudgetExceeded(
+                f"no zero-cost cover found within {node_budget} nodes "
+                f"(N={n}, M={modify_range})")
+        raise InfeasibleZeroCostCover(
+            f"no zero-cost cover exists for this group "
+            f"(N={n}, M={modify_range}, step={pattern.step})")
+
+    cover = PathCover.from_lists(best_paths, n)
+    return CoverSearchResult(cover, cover.n_paths, not budget_hit,
+                             lower_bound, min(upper_bound, cover.n_paths),
+                             nodes)

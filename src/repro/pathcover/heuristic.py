@@ -1,0 +1,139 @@
+"""Greedy zero-cost path cover: the upper-bound heuristic of phase 1.
+
+The paper bootstraps its branch-and-bound with "a heuristic algorithm
+for determination of a tight upper bound" (section 3.1).  We run a small
+portfolio of two constructions and keep the smaller cover:
+
+* a wrap-aware greedy scan over the accesses in program order, and
+* the exact minimum *intra-iteration* cover (via matching) followed by a
+  wrap-repair pass.
+
+Both end with the same repair step, so the result is always a valid
+*zero-cost* cover (intra and wrap-around transitions all free), whose
+size upper-bounds ``K~``.
+
+A path can only wrap for free when its last offset lands in the "home
+window" ``[o_first + S - M, o_first + S + M]``; the scan therefore
+(a) refuses attachments that would make a free wrap unreachable, and
+(b) prefers attachments that keep the path close to its home window.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InfeasibleZeroCostCover
+from repro.graph.access_graph import AccessGraph
+from repro.graph.distance import intra_distance
+from repro.pathcover.lower_bound import min_intra_path_cover
+from repro.pathcover.paths import PathCover
+
+
+def greedy_zero_cost_cover(graph: AccessGraph) -> PathCover:
+    """A zero-cost path cover of the access graph (upper bound on ``K~``).
+
+    Raises
+    ------
+    InfeasibleZeroCostCover
+        If even singleton paths cannot wrap for free (an access's
+        per-iteration address step exceeds the modify range).
+    """
+    candidates = [_scan_cover(graph), _repaired_matching_cover(graph)]
+    return min(candidates, key=lambda cover: cover.n_paths)
+
+
+# ----------------------------------------------------------------------
+# Construction 1: wrap-aware greedy scan
+# ----------------------------------------------------------------------
+def _scan_cover(graph: AccessGraph) -> PathCover:
+    pattern = graph.pattern
+    n = graph.n_nodes
+
+    # max_wrap_source[f]: latest position whose wrap-around to f is free.
+    max_wrap_source = [-1] * n
+    for source, target in graph.inter_edges:
+        if source > max_wrap_source[target]:
+            max_wrap_source[target] = source
+
+    open_paths: list[list[int]] = []
+    for position in range(n):
+        best: list[int] | None = None
+        best_key: tuple[int, int, int, int] | None = None
+        for path in open_paths:
+            tail = path[-1]
+            if not graph.has_intra_edge(tail, position):
+                continue
+            closes = graph.has_inter_edge(position, path[0])
+            if not closes and max_wrap_source[path[0]] < position:
+                # Attaching would make a free wrap unreachable forever.
+                continue
+            distance = intra_distance(pattern[tail], pattern[position])
+            assert distance is not None  # implied by the intra edge
+            home = _home_gap(graph, path[0], position)
+            key = (0 if closes else 1, home, abs(distance), -tail)
+            if best_key is None or key < best_key:
+                best, best_key = path, key
+        if best is not None:
+            best.append(position)
+        else:
+            open_paths.append([position])
+
+    repaired: list[list[int]] = []
+    for path in open_paths:
+        repaired.extend(_repair_wrap(path, graph))
+    return PathCover.from_lists(repaired, n)
+
+
+def _home_gap(graph: AccessGraph, first: int, candidate: int) -> int:
+    """How far ``candidate``'s offset is from the path's home window.
+
+    The home window is where a path starting at ``first`` must end for a
+    free wrap-around.  0 means the candidate could close the path.
+    """
+    pattern = graph.pattern
+    first_access = pattern[first]
+    candidate_access = pattern[candidate]
+    home = first_access.offset + first_access.coefficient * pattern.step
+    return max(0, abs(candidate_access.offset - home) - graph.modify_range)
+
+
+# ----------------------------------------------------------------------
+# Construction 2: minimum intra cover + wrap repair
+# ----------------------------------------------------------------------
+def _repaired_matching_cover(graph: AccessGraph) -> PathCover:
+    intra_cover = min_intra_path_cover(graph)
+    repaired: list[list[int]] = []
+    for path in intra_cover:
+        repaired.extend(_repair_wrap(list(path), graph))
+    return PathCover.from_lists(repaired, graph.n_nodes)
+
+
+# ----------------------------------------------------------------------
+# Shared wrap-repair pass
+# ----------------------------------------------------------------------
+def _repair_wrap(indices: list[int], graph: AccessGraph) -> list[list[int]]:
+    """Split a chain with zero-cost intra steps into wrap-valid chains.
+
+    Every contiguous slice of the chain keeps its intra steps free, so
+    splitting only has to fix wrap-around transitions.  Preference: a
+    single split fixing both halves, then a split whose head is fixed
+    (recursing on the tail), then shedding the last element.
+    """
+    if _wrap_ok(indices, graph):
+        return [indices]
+    if len(indices) == 1:
+        access = graph.pattern[indices[0]]
+        raise InfeasibleZeroCostCover(
+            f"access {access} cannot follow the loop for free: its "
+            f"per-iteration address step exceeds the modify range "
+            f"M={graph.modify_range}")
+    for cut in range(len(indices) - 1, 0, -1):
+        if _wrap_ok(indices[:cut], graph) and _wrap_ok(indices[cut:], graph):
+            return [indices[:cut], indices[cut:]]
+    for cut in range(len(indices) - 1, 0, -1):
+        if _wrap_ok(indices[:cut], graph):
+            return [indices[:cut]] + _repair_wrap(indices[cut:], graph)
+    return (_repair_wrap(indices[:-1], graph)
+            + _repair_wrap([indices[-1]], graph))
+
+
+def _wrap_ok(indices: list[int], graph: AccessGraph) -> bool:
+    return graph.has_inter_edge(indices[-1], indices[0])

@@ -1,0 +1,39 @@
+"""Access-reordering extension: scheduling freedom for the allocator.
+
+The paper takes the access order inside a loop iteration as fixed.  In
+reality a code generator has freedom: accesses without data dependences
+between them may be reordered, and a friendlier order can lower the
+addressing cost the two-phase allocator achieves (sometimes all the way
+to zero).  This extension package provides:
+
+* :mod:`repro.reorder.dependence` -- a conservative intra-iteration
+  dependence relation (affine indices make most same-array accesses
+  provably distinct, so plenty of freedom remains);
+* :mod:`repro.reorder.search` -- a chain-building greedy scheduler and
+  a dependence-respecting local search over adjacent swaps, both scored
+  by the real allocator.
+"""
+
+from repro.reorder.dependence import (
+    dependence_edges,
+    is_valid_order,
+    may_alias,
+)
+from repro.reorder.search import (
+    ReorderResult,
+    greedy_chain_order,
+    local_search_reorder,
+    reorder_accesses,
+    reorder_pattern,
+)
+
+__all__ = [
+    "ReorderResult",
+    "dependence_edges",
+    "greedy_chain_order",
+    "is_valid_order",
+    "local_search_reorder",
+    "may_alias",
+    "reorder_accesses",
+    "reorder_pattern",
+]

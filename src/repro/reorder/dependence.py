@@ -1,0 +1,57 @@
+"""Intra-iteration dependence analysis for access reordering.
+
+Two accesses of one iteration must keep their relative order iff they
+may touch the same memory cell and at least one writes.  With affine
+indices ``c*i + d`` the aliasing question is decidable exactly *within
+an iteration*:
+
+* different arrays never alias;
+* same array, same coefficient: the accesses hit the same element iff
+  their offsets are equal (``c*i + d1 = c*i + d2  <=>  d1 = d2``);
+* same array, different coefficients: the difference
+  ``(c1 - c2)*i + (d1 - d2)`` vanishes for some loop value unless the
+  offset difference is not divisible by the coefficient difference --
+  we keep the conservative answer (may alias) unless divisibility rules
+  it out for every ``i``.
+
+Read-read pairs never constrain the order.
+"""
+
+from __future__ import annotations
+
+from repro.ir.types import AccessPattern, ArrayAccess
+
+
+def may_alias(first: ArrayAccess, second: ArrayAccess) -> bool:
+    """Whether the two accesses may touch the same element in one
+    iteration."""
+    if first.array != second.array:
+        return False
+    coefficient_difference = first.coefficient - second.coefficient
+    offset_difference = second.offset - first.offset
+    if coefficient_difference == 0:
+        return offset_difference == 0
+    # c_diff * i == d_diff has an integer solution iff divisible; the
+    # loop may or may not hit that i, so divisibility = may alias.
+    return offset_difference % coefficient_difference == 0
+
+
+def dependence_edges(pattern: AccessPattern) -> frozenset[tuple[int, int]]:
+    """Ordered pairs ``(p, q)``, ``p < q``, whose order must be kept."""
+    edges: set[tuple[int, int]] = set()
+    n = len(pattern)
+    for p in range(n):
+        for q in range(p + 1, n):
+            first, second = pattern[p], pattern[q]
+            if not (first.is_write or second.is_write):
+                continue
+            if may_alias(first, second):
+                edges.add((p, q))
+    return frozenset(edges)
+
+
+def is_valid_order(order: tuple[int, ...],
+                   edges: frozenset[tuple[int, int]]) -> bool:
+    """Whether a permutation of positions respects every dependence."""
+    rank = {position: index for index, position in enumerate(order)}
+    return all(rank[p] < rank[q] for p, q in edges)

@@ -1,0 +1,40 @@
+"""Workloads: random access patterns and realistic DSP kernels.
+
+* :mod:`repro.workloads.random_patterns` -- the seeded random-pattern
+  generator behind the paper's statistical analysis (section 4).
+* :mod:`repro.workloads.kernels` -- a library of classic DSP loop
+  kernels written in the C-like frontend language, mirroring the
+  realistic programs the paper's introduction motivates.
+* :mod:`repro.workloads.suite` -- named kernel suites.
+"""
+
+from repro.workloads.kernels import DspKernel, KERNELS, get_kernel
+from repro.workloads.random_patterns import (
+    DISTRIBUTIONS,
+    RandomPatternConfig,
+    generate_batch,
+    generate_pattern,
+)
+from repro.workloads.suite import SUITES, suite_kernels
+from repro.workloads.trace import (
+    format_trace,
+    load_trace,
+    parse_trace,
+    save_trace,
+)
+
+__all__ = [
+    "DISTRIBUTIONS",
+    "DspKernel",
+    "KERNELS",
+    "RandomPatternConfig",
+    "SUITES",
+    "format_trace",
+    "generate_batch",
+    "generate_pattern",
+    "get_kernel",
+    "load_trace",
+    "parse_trace",
+    "save_trace",
+    "suite_kernels",
+]

@@ -1,0 +1,34 @@
+"""Named kernel suites for experiments and benchmarks."""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.workloads.kernels import KERNELS, DspKernel
+
+#: Named subsets of the kernel library.
+SUITES: dict[str, tuple[str, ...]] = {
+    # Small, fast suite for smoke benchmarks.
+    "core8": (
+        "paper_example", "fir8", "iir_biquad_df1", "convolution8",
+        "dot_product", "matvec_row4", "fft_butterfly", "complex_mac",
+    ),
+    # Filters only (the archetypal DSP workloads).
+    "filters": (
+        "fir8", "fir16", "fir8_symmetric", "iir_biquad_df1",
+        "iir_biquad_df2", "convolution8", "moving_average4",
+        "biquad_cascade2",
+    ),
+    # Everything.
+    "full": tuple(sorted(KERNELS)),
+}
+
+
+def suite_kernels(name: str) -> list[DspKernel]:
+    """The kernels of a named suite, in suite order."""
+    try:
+        members = SUITES[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown suite {name!r}; available: {sorted(SUITES)}") \
+            from None
+    return [KERNELS[kernel_name] for kernel_name in members]

@@ -1,0 +1,110 @@
+"""Plain-text access-trace format: patterns in and out of files.
+
+A trace file describes one loop iteration's access pattern, one access
+per line, so users can feed measured or hand-written patterns to the
+allocator without writing kernel source:
+
+.. code-block:: text
+
+    # anything after '#' is a comment
+    step 1            # optional header: loop step (default 1)
+    A +1              # read  A[i+1]
+    A 0               # read  A[i]
+    A -2 w            # write A[i-2]
+    B 3 coeff=2       # read  B[2*i+3]
+
+Token order after the array name is free (``w`` marks a write,
+``coeff=<c>`` sets the index coefficient).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import WorkloadError
+from repro.ir.expr import AffineExpr
+from repro.ir.types import AccessPattern, ArrayAccess
+
+
+def parse_trace(text: str) -> AccessPattern:
+    """Parse trace text into an :class:`AccessPattern`."""
+    step = 1
+    accesses: list[ArrayAccess] = []
+    for line_number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        if tokens[0] == "step":
+            if accesses:
+                raise WorkloadError(
+                    f"trace line {line_number}: 'step' must precede all "
+                    f"accesses")
+            if len(tokens) != 2:
+                raise WorkloadError(
+                    f"trace line {line_number}: expected 'step <int>'")
+            step = _parse_int(tokens[1], line_number)
+            if step == 0:
+                raise WorkloadError(
+                    f"trace line {line_number}: step must be non-zero")
+            continue
+
+        if len(tokens) < 2:
+            raise WorkloadError(
+                f"trace line {line_number}: expected "
+                f"'<array> <offset> [coeff=<c>] [w]', got {line!r}")
+        array = tokens[0]
+        if not array.isidentifier():
+            raise WorkloadError(
+                f"trace line {line_number}: invalid array name {array!r}")
+        offset = _parse_int(tokens[1], line_number)
+        coefficient = 1
+        is_write = False
+        for token in tokens[2:]:
+            if token == "w":
+                is_write = True
+            elif token.startswith("coeff="):
+                coefficient = _parse_int(token[len("coeff="):],
+                                         line_number)
+            else:
+                raise WorkloadError(
+                    f"trace line {line_number}: unknown token {token!r}")
+        accesses.append(ArrayAccess(array, AffineExpr(coefficient, offset),
+                                    is_write=is_write))
+    return AccessPattern(tuple(accesses), step=step)
+
+
+def _parse_int(token: str, line_number: int) -> int:
+    try:
+        return int(token)
+    except ValueError:
+        raise WorkloadError(
+            f"trace line {line_number}: expected an integer, got "
+            f"{token!r}") from None
+
+
+def format_trace(pattern: AccessPattern) -> str:
+    """Render a pattern in the trace format (round-trips with
+    :func:`parse_trace`)."""
+    lines = [f"step {pattern.step}"]
+    for access in pattern:
+        parts = [access.array, f"{access.offset:+d}"]
+        if access.coefficient != 1:
+            parts.append(f"coeff={access.coefficient}")
+        if access.is_write:
+            parts.append("w")
+        lines.append(" ".join(parts))
+    return "\n".join(lines) + "\n"
+
+
+def load_trace(path: str | Path) -> AccessPattern:
+    """Read a trace file."""
+    return parse_trace(Path(path).read_text())
+
+
+def save_trace(pattern: AccessPattern, path: str | Path) -> Path:
+    """Write a pattern as a trace file."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(format_trace(pattern))
+    return target

@@ -1,0 +1,55 @@
+"""Unit tests for AGU specifications."""
+
+import pytest
+
+from repro.agu.model import PRESETS, AguSpec
+from repro.errors import AllocationError
+
+
+class TestAguSpec:
+    def test_basic(self):
+        spec = AguSpec(4, 1)
+        assert spec.n_registers == 4
+        assert spec.modify_range == 1
+
+    def test_rejects_zero_registers(self):
+        with pytest.raises(AllocationError):
+            AguSpec(0, 1)
+
+    def test_rejects_negative_modify_range(self):
+        with pytest.raises(AllocationError):
+            AguSpec(4, -1)
+
+    def test_modify_range_zero_allowed(self):
+        # M=0 models an AGU with no free post-modify at all.
+        assert AguSpec(1, 0).modify_range == 0
+
+    def test_with_registers(self):
+        spec = AguSpec(4, 1, "x").with_registers(8)
+        assert spec.n_registers == 8
+        assert spec.modify_range == 1
+        assert spec.name == "x"
+
+    def test_with_modify_range(self):
+        spec = AguSpec(4, 1, "x").with_modify_range(7)
+        assert spec.modify_range == 7
+        assert spec.n_registers == 4
+
+    def test_str(self):
+        assert str(AguSpec(2, 1, "tight")) == "tight(K=2, M=1)"
+
+    def test_hashable(self):
+        assert len({AguSpec(2, 1), AguSpec(2, 1), AguSpec(2, 2)}) == 2
+
+
+class TestPresets:
+    def test_presets_are_valid(self):
+        for name, spec in PRESETS.items():
+            assert spec.n_registers >= 1
+            assert spec.modify_range >= 0
+            assert spec.name == name
+
+    def test_expected_presets_exist(self):
+        for name in ("ti_c25_like", "adsp210x_like", "dsp56k_like",
+                     "tight_k2"):
+            assert name in PRESETS

@@ -1,0 +1,144 @@
+"""Unit tests for the two-phase allocator (the paper's algorithm)."""
+
+import pytest
+
+from repro.agu.model import AguSpec
+from repro.core.allocator import AddressRegisterAllocator
+from repro.core.config import AllocatorConfig
+from repro.errors import AllocationError
+from repro.ir.builder import (
+    LoopBuilder,
+    loop_from_offsets,
+    pattern_from_offsets,
+)
+from repro.merging.cost import CostModel, cover_cost
+from repro.pathcover.verify import is_zero_cost_path
+
+from conftest import PAPER_OFFSETS
+
+
+class TestPaperExample:
+    def test_unconstrained_allocation_is_free(self, paper_pattern):
+        allocator = AddressRegisterAllocator(AguSpec(3, 1))
+        result = allocator.allocate(paper_pattern)
+        assert result.k_tilde == 3
+        assert result.n_registers_used == 3
+        assert result.is_zero_cost
+        assert result.strategy == "none"
+
+    def test_constrained_allocation(self, paper_pattern):
+        allocator = AddressRegisterAllocator(AguSpec(2, 1))
+        result = allocator.allocate(paper_pattern)
+        assert result.k_tilde == 3
+        assert result.n_registers_used == 2
+        assert result.total_cost == 2
+        assert result.strategy == "best_pair"
+        assert len(result.merge_steps) == 1
+
+    def test_accepts_loop_and_kernel_inputs(self):
+        loop = loop_from_offsets(PAPER_OFFSETS, start=2, n_iterations=10)
+        kernel = (LoopBuilder("example", start=2, n_iterations=10)
+                  .read("A", 1).read("A", 0).build())
+        allocator = AddressRegisterAllocator(AguSpec(2, 1))
+        assert allocator.allocate(loop).total_cost == 2
+        assert allocator.allocate(kernel).is_zero_cost
+
+    def test_summary_text(self, paper_pattern):
+        allocator = AddressRegisterAllocator(AguSpec(2, 1))
+        text = allocator.allocate(paper_pattern).summary()
+        assert "K~ (virtual):    3 (exact)" in text
+        assert "unit-cost/iter:  2" in text
+        assert "AR0" in text and "AR1" in text
+
+
+class TestNaiveBaseline:
+    def test_same_phase1_different_merging(self, paper_pattern):
+        allocator = AddressRegisterAllocator(AguSpec(1, 1))
+        optimized = allocator.allocate(paper_pattern)
+        naive = allocator.allocate_naive(paper_pattern, seed=2)
+        assert naive.k_tilde == optimized.k_tilde
+        assert naive.strategy.startswith("naive/")
+        assert naive.total_cost >= optimized.total_cost - 2  # sanity
+
+    def test_naive_strategy_override(self, paper_pattern):
+        allocator = AddressRegisterAllocator(AguSpec(2, 1))
+        result = allocator.allocate_naive(paper_pattern,
+                                          strategy="first_pair")
+        assert result.strategy == "naive/first_pair"
+
+    def test_naive_mean_worse_or_equal(self, rng):
+        """Aggregate check of the paper's premise."""
+        total_optimized = 0
+        total_naive = 0
+        allocator = AddressRegisterAllocator(AguSpec(2, 1))
+        for trial in range(30):
+            offsets = [rng.randint(-6, 6) for _ in range(12)]
+            pattern = pattern_from_offsets(offsets)
+            total_optimized += allocator.allocate(pattern).total_cost
+            total_naive += allocator.allocate_naive(
+                pattern, seed=trial).total_cost
+        assert total_optimized <= total_naive
+
+
+class TestFallbacks:
+    def test_infeasible_zero_cost_cover(self):
+        # x[2i] with M=1: no zero-cost cover exists at all.
+        pattern = (LoopBuilder().read("x", 0, coefficient=2)
+                   .read("x", 3, coefficient=2).build_pattern())
+        allocator = AddressRegisterAllocator(AguSpec(2, 1))
+        result = allocator.allocate(pattern)
+        assert result.k_tilde is None
+        assert not result.phase1_feasible
+        assert result.total_cost == cover_cost(result.cover, pattern, 1)
+        assert "infeasible" in result.summary()
+
+    def test_greedy_cover_beyond_exact_limit(self, rng):
+        offsets = [rng.randint(-8, 8) for _ in range(30)]
+        pattern = pattern_from_offsets(offsets)
+        allocator = AddressRegisterAllocator(
+            AguSpec(4, 1), AllocatorConfig(exact_cover_limit=10))
+        result = allocator.allocate(pattern)
+        assert result.k_tilde is not None
+        assert not result.phase1_optimal
+        # The greedy cover is still genuinely zero-cost.
+        assert result.phase1_feasible
+
+    def test_empty_pattern(self):
+        allocator = AddressRegisterAllocator(AguSpec(2, 1))
+        result = allocator.allocate(pattern_from_offsets([]))
+        assert result.total_cost == 0
+        assert result.n_registers_used == 0
+
+
+class TestCostModels:
+    def test_intra_model_respected(self, paper_pattern):
+        allocator = AddressRegisterAllocator(
+            AguSpec(1, 1), AllocatorConfig(cost_model=CostModel.INTRA))
+        result = allocator.allocate(paper_pattern)
+        assert result.cost_model is CostModel.INTRA
+        assert result.total_cost == cover_cost(result.cover, paper_pattern,
+                                               1, CostModel.INTRA)
+
+    def test_phase1_zero_cost_under_steady_state(self, rng):
+        allocator = AddressRegisterAllocator(AguSpec(8, 1))
+        for _ in range(10):
+            offsets = [rng.randint(-4, 4) for _ in range(8)]
+            result = allocator.allocate(pattern_from_offsets(offsets))
+            if result.k_tilde is not None and \
+                    result.n_registers_used == result.k_tilde:
+                for path in result.cover:
+                    assert is_zero_cost_path(path, result.pattern, 1)
+
+
+class TestConfigValidation:
+    def test_bad_naive_strategy(self):
+        with pytest.raises(AllocationError):
+            AllocatorConfig(naive_strategy="nope")
+
+    def test_bad_budget(self):
+        with pytest.raises(AllocationError):
+            AllocatorConfig(cover_node_budget=0)
+
+    def test_bad_limit(self):
+        with pytest.raises(AllocationError):
+            AllocatorConfig(exact_cover_limit=-1)

@@ -1,0 +1,77 @@
+"""Tests of the public API surface itself."""
+
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_all_is_sorted(self):
+        assert list(repro.__all__) == sorted(repro.__all__)
+
+    def test_version_matches_pyproject(self):
+        from pathlib import Path
+        pyproject = Path(repro.__file__).resolve().parents[2] \
+            / "pyproject.toml"
+        text = pyproject.read_text()
+        assert f'version = "{repro.__version__}"' in text
+
+    def test_key_entry_points_are_callable_or_types(self):
+        for name in ("AddressRegisterAllocator", "AguSpec",
+                     "compile_kernel", "parse_kernel",
+                     "minimum_zero_cost_cover", "best_pair_merge",
+                     "allocate_with_modify_registers",
+                     "reorder_accesses"):
+            assert callable(getattr(repro, name)), name
+
+
+class TestModuleHygiene:
+    def _walk_modules(self):
+        for module_info in pkgutil.walk_packages(repro.__path__,
+                                                 prefix="repro."):
+            yield importlib.import_module(module_info.name)
+
+    def test_every_module_imports(self):
+        modules = list(self._walk_modules())
+        assert len(modules) >= 40
+
+    def test_every_module_has_a_docstring(self):
+        for module in self._walk_modules():
+            assert module.__doc__, f"{module.__name__} lacks a docstring"
+
+    def test_every_public_package_reexports_consistently(self):
+        for module in self._walk_modules():
+            exported = getattr(module, "__all__", None)
+            if exported is None:
+                continue
+            for name in exported:
+                assert hasattr(module, name), \
+                    f"{module.__name__}.__all__ lists missing {name!r}"
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        from repro import errors
+        base = errors.ReproError
+        for name in dir(errors):
+            candidate = getattr(errors, name)
+            if isinstance(candidate, type) and \
+                    issubclass(candidate, Exception) and \
+                    candidate is not Exception:
+                assert issubclass(candidate, base), name
+
+    def test_library_raises_only_repro_errors_on_bad_input(self):
+        from repro.errors import ReproError
+        with pytest.raises(ReproError):
+            repro.parse_kernel("not a kernel")
+        with pytest.raises(ReproError):
+            repro.AguSpec(0, 1)
+        with pytest.raises(ReproError):
+            repro.parse_trace("step")

@@ -1,0 +1,70 @@
+"""Unit tests for the programmatic loop builder."""
+
+import pytest
+
+from repro.errors import IrError
+from repro.ir.builder import LoopBuilder, loop_from_offsets, pattern_from_offsets
+
+
+class TestPatternFromOffsets:
+    def test_paper_example(self):
+        pattern = pattern_from_offsets([1, 0, 2, -1, 1, 0, -2])
+        assert pattern.offsets() == (1, 0, 2, -1, 1, 0, -2)
+        assert pattern.arrays() == ("A",)
+        assert all(access.coefficient == 1 for access in pattern)
+
+    def test_custom_array_and_step(self):
+        pattern = pattern_from_offsets([0, 1], array="buf", step=2,
+                                       loop_var="n")
+        assert pattern.arrays() == ("buf",)
+        assert pattern.step == 2
+        assert pattern.loop_var == "n"
+        assert pattern[0].index.var == "n"
+
+    def test_empty(self):
+        assert len(pattern_from_offsets([])) == 0
+
+
+class TestLoopFromOffsets:
+    def test_bounds(self):
+        loop = loop_from_offsets([0, 1], start=3, n_iterations=5)
+        assert loop.iteration_values() == [3, 4, 5, 6, 7]
+
+
+class TestLoopBuilder:
+    def test_fluent_build(self):
+        kernel = (LoopBuilder("fir", start=0, n_iterations=8)
+                  .array("x", length=32).array("y")
+                  .read("x", 0).read("x", 1).write("y", 0)
+                  .scalar("acc", is_write=True)
+                  .build())
+        assert kernel.name == "fir"
+        assert [str(a) for a in kernel.pattern] == ["x[i]", "x[i+1]", "y[i]="]
+        assert kernel.array("x").length == 32
+        assert kernel.scalar_sequence() == ("acc",)
+
+    def test_implicit_array_declaration(self):
+        kernel = LoopBuilder().access("z", 3).build()
+        assert kernel.array("z").length is None
+
+    def test_coefficient_access(self):
+        kernel = LoopBuilder().access("x", 1, coefficient=2).build()
+        assert kernel.pattern[0].coefficient == 2
+
+    def test_duplicate_array_rejected(self):
+        with pytest.raises(IrError, match="already declared"):
+            LoopBuilder().array("x").array("x")
+
+    def test_zero_step_rejected(self):
+        with pytest.raises(IrError):
+            LoopBuilder(step=0)
+
+    def test_build_pattern_and_loop(self):
+        builder = LoopBuilder(start=1, step=2, n_iterations=3).read("A", 0)
+        assert builder.build_pattern().step == 2
+        assert builder.build_loop().iteration_values() == [1, 3, 5]
+
+    def test_symbolic_bound(self):
+        kernel = LoopBuilder(bound_symbol="N").read("A", 0).build()
+        assert kernel.loop.bound_symbol == "N"
+        assert kernel.loop.n_iterations is None

@@ -1,0 +1,100 @@
+"""Tests of the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+
+PAPER_SOURCE = """
+for (i = 2; i <= N; i++) {
+    A[i+1]; A[i]; A[i+2]; A[i-1]; A[i+1]; A[i]; A[i-2];
+}
+"""
+
+
+@pytest.fixture
+def kernel_file(tmp_path):
+    path = tmp_path / "example.c"
+    path.write_text(PAPER_SOURCE)
+    return str(path)
+
+
+class TestCompile:
+    def test_compile_prints_summary_and_listing(self, kernel_file, capsys):
+        assert main(["compile", kernel_file, "-k", "2", "-m", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "K~ (virtual):    3 (exact)" in out
+        assert "USE" in out
+        assert "simulation:" in out
+
+    def test_compile_no_sim(self, kernel_file, capsys):
+        assert main(["compile", kernel_file, "--no-sim"]) == 0
+        assert "simulation:" not in capsys.readouterr().out
+
+    def test_compile_with_preset(self, kernel_file, capsys):
+        assert main(["compile", kernel_file, "--preset",
+                     "ti_c25_like"]) == 0
+        assert "ti_c25_like" in capsys.readouterr().out
+
+    def test_compile_preset_with_overrides(self, kernel_file, capsys):
+        assert main(["compile", kernel_file, "--preset", "ti_c25_like",
+                     "-k", "2"]) == 0
+        assert "K=2" in capsys.readouterr().out
+
+    def test_compile_stdin(self, capsys, monkeypatch):
+        import io
+        monkeypatch.setattr("sys.stdin", io.StringIO(PAPER_SOURCE))
+        assert main(["compile", "-"]) == 0
+        assert "allocation of 7 accesses" in capsys.readouterr().out
+
+    def test_missing_file_reports_error(self, capsys):
+        assert main(["compile", "/nonexistent/file.c"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_parse_error_reports_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.c"
+        bad.write_text("for (i = 0; i < 3; i++) { A[i] }")
+        assert main(["compile", str(bad)]) == 1
+        assert "error:" in capsys.readouterr().err
+
+
+class TestGraph:
+    def test_ascii(self, kernel_file, capsys):
+        assert main(["graph", kernel_file]) == 0
+        out = capsys.readouterr().out
+        assert "a_1" in out and "->" in out
+
+    def test_dot_with_wrap(self, kernel_file, capsys):
+        assert main(["graph", kernel_file, "--dot", "--wrap"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "dashed" in out
+
+
+class TestKernels:
+    def test_list(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "fir8" in out and "paper_example" in out
+
+    def test_show(self, capsys):
+        assert main(["kernels", "fir8"]) == 0
+        out = capsys.readouterr().out
+        assert "for (" in out and "h[0]" in out
+
+    def test_unknown_kernel(self, capsys):
+        assert main(["kernels", "nope"]) == 1
+        assert "unknown kernel" in capsys.readouterr().err
+
+
+class TestExperiment:
+    def test_quick_stats_with_json(self, tmp_path, capsys):
+        target = tmp_path / "stats.json"
+        assert main(["experiment", "stats", "--quick", "--json",
+                     str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-S1" in out
+        assert "average reduction" in out
+        payload = json.loads(target.read_text())
+        assert "rows" in payload and "average_reduction_pct" in payload

@@ -1,0 +1,77 @@
+"""Unit tests for the address-distance and transition-cost model."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graph.distance import (
+    intra_distance,
+    is_zero_cost,
+    transition_cost,
+    wrap_distance,
+)
+from repro.ir.expr import AffineExpr
+from repro.ir.types import ArrayAccess
+
+
+def acc(array: str, coeff: int, offset: int) -> ArrayAccess:
+    return ArrayAccess(array, AffineExpr(coeff, offset))
+
+
+class TestIntraDistance:
+    def test_same_array_same_coefficient(self):
+        assert intra_distance(acc("A", 1, 1), acc("A", 1, -2)) == -3
+
+    def test_different_arrays_none(self):
+        assert intra_distance(acc("A", 1, 0), acc("B", 1, 0)) is None
+
+    def test_different_coefficients_none(self):
+        assert intra_distance(acc("A", 1, 0), acc("A", 2, 0)) is None
+
+    def test_loop_invariant_accesses(self):
+        assert intra_distance(acc("h", 0, 3), acc("h", 0, 5)) == 2
+
+    def test_asymmetry(self):
+        assert intra_distance(acc("A", 1, 0), acc("A", 1, 4)) == 4
+        assert intra_distance(acc("A", 1, 4), acc("A", 1, 0)) == -4
+
+
+class TestWrapDistance:
+    def test_paper_model(self):
+        # Last access A[i+o_l], first access A[i+o_f] of the next
+        # iteration: distance = o_f + S - o_l.
+        assert wrap_distance(acc("A", 1, 2), acc("A", 1, 1), step=1) == 0
+
+    def test_singleton_path(self):
+        # A register following one access advances by c*S per iteration.
+        assert wrap_distance(acc("A", 1, 5), acc("A", 1, 5), step=1) == 1
+        assert wrap_distance(acc("A", 2, 5), acc("A", 2, 5), step=1) == 2
+        assert wrap_distance(acc("A", 0, 5), acc("A", 0, 5), step=1) == 0
+
+    def test_negative_step(self):
+        assert wrap_distance(acc("A", 1, 0), acc("A", 1, 0), step=-2) == -2
+
+    def test_different_arrays_none(self):
+        assert wrap_distance(acc("A", 1, 0), acc("B", 1, 0), step=1) is None
+
+    def test_different_coefficients_none(self):
+        assert wrap_distance(acc("A", 2, 0), acc("A", 1, 0), step=1) is None
+
+
+class TestCost:
+    @pytest.mark.parametrize("distance, m, free", [
+        (0, 0, True), (0, 1, True), (1, 1, True), (-1, 1, True),
+        (2, 1, False), (-2, 1, False), (4, 4, True), (5, 4, False),
+        (None, 1, False), (None, 100, False),
+    ])
+    def test_is_zero_cost(self, distance, m, free):
+        assert is_zero_cost(distance, m) is free
+
+    def test_transition_cost_is_binary(self):
+        assert transition_cost(0, 1) == 0
+        assert transition_cost(3, 1) == 1
+        assert transition_cost(-300, 1) == 1
+        assert transition_cost(None, 1) == 1
+
+    def test_negative_modify_range_rejected(self):
+        with pytest.raises(GraphError):
+            is_zero_cost(0, -1)

@@ -1,0 +1,39 @@
+"""Every example script must run cleanly and print its key output."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+EXPECTED_FRAGMENTS = {
+    "quickstart.py": ["K~ = 3", "USE", "simulator: verified"],
+    "fir_register_pressure.py": ["fir16", "best-pair cost"],
+    "heuristic_showdown.py": ["best-pair cuts naive cost"],
+    "custom_kernel.py": ["stereo_mixer", "digraph", "K~="],
+    "scalar_layout.py": ["Liao", "GOA over k=2"],
+    "extensions_demo.py": ["modify registers", "reordering",
+                           "addresses verified"],
+}
+
+
+def run_example(name: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=120)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+@pytest.mark.parametrize("name", sorted(EXPECTED_FRAGMENTS))
+def test_example_runs(name):
+    output = run_example(name)
+    for fragment in EXPECTED_FRAGMENTS[name]:
+        assert fragment in output, (name, fragment)
+
+
+def test_every_example_is_covered():
+    on_disk = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+    assert on_disk == set(EXPECTED_FRAGMENTS)

@@ -1,0 +1,143 @@
+"""Unit tests for affine index expressions."""
+
+import pytest
+
+from repro.errors import IrError
+from repro.ir.expr import AffineExpr
+
+
+class TestConstruction:
+    def test_plain(self):
+        expr = AffineExpr(2, 3)
+        assert expr.coefficient == 2
+        assert expr.offset == 3
+        assert expr.var == "i"
+
+    def test_constant_constructor(self):
+        expr = AffineExpr.constant(7)
+        assert expr.is_constant
+        assert expr.offset == 7
+
+    def test_variable_constructor(self):
+        expr = AffineExpr.variable("j")
+        assert expr.coefficient == 1
+        assert expr.offset == 0
+        assert expr.var == "j"
+
+    def test_rejects_non_int_coefficient(self):
+        with pytest.raises(IrError):
+            AffineExpr(1.5, 0)
+
+    def test_rejects_non_int_offset(self):
+        with pytest.raises(IrError):
+            AffineExpr(1, "x")
+
+    def test_rejects_bool(self):
+        # bool is an int subclass; the IR refuses it to avoid silent
+        # True/False arithmetic.
+        with pytest.raises(IrError):
+            AffineExpr(True, 0)
+
+
+class TestEvaluation:
+    @pytest.mark.parametrize("coeff, offset, value, expected", [
+        (1, 0, 5, 5),
+        (1, 3, 5, 8),
+        (2, -1, 4, 7),
+        (0, 9, 123, 9),
+        (-1, 0, 6, -6),
+    ])
+    def test_evaluate(self, coeff, offset, value, expected):
+        assert AffineExpr(coeff, offset).evaluate(value) == expected
+
+
+class TestDistance:
+    def test_same_coefficient(self):
+        a = AffineExpr(1, 2)
+        b = AffineExpr(1, -3)
+        assert a.distance_to(b) == -5
+        assert b.distance_to(a) == 5
+
+    def test_different_coefficient_is_none(self):
+        assert AffineExpr(1, 0).distance_to(AffineExpr(2, 0)) is None
+
+    def test_different_variable_is_none(self):
+        assert AffineExpr(1, 0, "i").distance_to(AffineExpr(1, 0, "j")) is None
+
+    def test_constants_have_distance(self):
+        assert AffineExpr(0, 4).distance_to(AffineExpr(0, 9)) == 5
+
+    def test_constants_with_different_vars_still_constant(self):
+        # Coefficient 0 makes the variable irrelevant.
+        assert AffineExpr(0, 1, "i").distance_to(AffineExpr(0, 3, "j")) == 2
+
+    def test_distance_to_non_expr_raises(self):
+        with pytest.raises(IrError):
+            AffineExpr(1, 0).distance_to(3)
+
+
+class TestArithmetic:
+    def test_add_expressions(self):
+        result = AffineExpr(1, 2) + AffineExpr(2, -1)
+        assert (result.coefficient, result.offset) == (3, 1)
+
+    def test_add_int(self):
+        result = AffineExpr(1, 2) + 5
+        assert (result.coefficient, result.offset) == (1, 7)
+
+    def test_radd(self):
+        result = 5 + AffineExpr(1, 2)
+        assert (result.coefficient, result.offset) == (1, 7)
+
+    def test_sub(self):
+        result = AffineExpr(2, 5) - AffineExpr(1, 1)
+        assert (result.coefficient, result.offset) == (1, 4)
+
+    def test_rsub(self):
+        result = 10 - AffineExpr(1, 2)
+        assert (result.coefficient, result.offset) == (-1, 8)
+
+    def test_neg(self):
+        result = -AffineExpr(2, -3)
+        assert (result.coefficient, result.offset) == (-2, 3)
+
+    def test_mul(self):
+        result = AffineExpr(2, 3) * 4
+        assert (result.coefficient, result.offset) == (8, 12)
+
+    def test_rmul(self):
+        result = 4 * AffineExpr(2, 3)
+        assert (result.coefficient, result.offset) == (8, 12)
+
+    def test_mul_by_non_int_raises(self):
+        with pytest.raises(IrError):
+            AffineExpr(1, 0) * 1.5
+
+    def test_mixed_variables_raise(self):
+        with pytest.raises(IrError):
+            AffineExpr(1, 0, "i") + AffineExpr(1, 0, "j")
+
+    def test_constant_adopts_other_variable(self):
+        result = AffineExpr.constant(3, "i") + AffineExpr(1, 0, "j")
+        assert result.var == "j"
+        assert (result.coefficient, result.offset) == (1, 3)
+
+
+class TestRendering:
+    @pytest.mark.parametrize("expr, text", [
+        (AffineExpr(1, 0), "i"),
+        (AffineExpr(1, 3), "i+3"),
+        (AffineExpr(1, -2), "i-2"),
+        (AffineExpr(2, 1), "2*i+1"),
+        (AffineExpr(-1, 0), "-i"),
+        (AffineExpr(0, 7), "7"),
+        (AffineExpr(0, -7), "-7"),
+    ])
+    def test_str(self, expr, text):
+        assert str(expr) == text
+
+    def test_ordering_and_hash(self):
+        # Frozen dataclass with order=True: usable in sets and sorts.
+        exprs = {AffineExpr(1, 0), AffineExpr(1, 0), AffineExpr(1, 1)}
+        assert len(exprs) == 2
+        assert sorted(exprs)[0] == AffineExpr(1, 0)

@@ -1,0 +1,89 @@
+"""Golden-output tests: exact rendered artifacts for the paper example.
+
+These freeze the user-visible text output (graph rendering, assembly
+listing, allocation summary) so accidental format or semantics drift is
+caught immediately.
+"""
+
+import textwrap
+
+from repro.agu.codegen import generate_address_code
+from repro.agu.listing import program_listing
+from repro.agu.model import AguSpec
+from repro.core.allocator import AddressRegisterAllocator
+from repro.graph.access_graph import AccessGraph
+from repro.graph.dot import graph_to_ascii, graph_to_dot
+from repro.ir.builder import pattern_from_offsets
+
+PAPER = [1, 0, 2, -1, 1, 0, -2]
+
+
+class TestGraphRendering:
+    def test_ascii_exact(self):
+        graph = AccessGraph(pattern_from_offsets(PAPER), 1)
+        expected = textwrap.dedent("""\
+            AccessGraph  N=7  M=1  step=1
+              a_1  A[i+1]       -> a_2, a_3, a_5, a_6
+              a_2  A[i]         -> a_4, a_5, a_6
+              a_3  A[i+2]       -> a_5
+              a_4  A[i-1]       -> a_6, a_7
+              a_5  A[i+1]       -> a_6
+              a_6  A[i]         -> (none)
+              a_7  A[i-2]       -> (none)
+        """)
+        assert graph_to_ascii(graph) == expected
+
+    def test_dot_exact_prefix(self):
+        graph = AccessGraph(pattern_from_offsets(PAPER), 1)
+        dot = graph_to_dot(graph)
+        lines = dot.splitlines()
+        assert lines[0] == "digraph access_graph {"
+        assert lines[1] == "  rankdir=LR;"
+        assert '  n0 [label="a_1\\nA[i+1]"];' in lines
+        assert "  n0 -> n1;" in lines
+        assert lines[-1] == "}"
+
+
+class TestListing:
+    def test_k2_listing_exact(self):
+        pattern = pattern_from_offsets(PAPER)
+        allocator = AddressRegisterAllocator(AguSpec(2, 1, "tight_k2"))
+        result = allocator.allocate(pattern)
+        program = generate_address_code(pattern, result.cover,
+                                        allocator.spec)
+        listing = program_listing(program)
+        instructions = [line.split(";")[0].strip()
+                        for line in listing.splitlines()
+                        if line.startswith("    ")]
+        assert instructions == [
+            "LDAR  AR0, &A[i+1]",
+            "LDAR  AR1, &A[i+0]",
+            "USE   *(AR0)+1",
+            "USE   *(AR1)-1",
+            "USE   *(AR0)-1",
+            "USE   *(AR1)+1",
+            "USE   *(AR0)",
+            "SBAR  AR0, #3",
+            "USE   *(AR1)+1",
+            "USE   *(AR0)",
+            "ADAR  AR0, #4",
+        ]
+
+
+class TestSummary:
+    def test_k2_summary_exact(self):
+        pattern = pattern_from_offsets(PAPER)
+        allocator = AddressRegisterAllocator(AguSpec(2, 1, "tight_k2"))
+        summary = allocator.allocate(pattern).summary()
+        expected = textwrap.dedent("""\
+            allocation of 7 accesses on tight_k2(K=2, M=1)
+              strategy:        best_pair
+              cost model:      steady_state
+              K~ (virtual):    3 (exact)
+              registers used:  2
+              unit-cost/iter:  2
+                AR0: a_1, a_3, a_5, a_7
+                AR1: a_2, a_4, a_6
+              merges performed: 1
+                (a_1, a_3, a_5) (+) (a_7) -> (a_1, a_3, a_5, a_7) [C=2]""")
+        assert summary == expected

@@ -1,0 +1,77 @@
+"""Unit tests for the greedy zero-cost cover heuristic."""
+
+import pytest
+
+from repro.errors import InfeasibleZeroCostCover
+from repro.graph.access_graph import AccessGraph
+from repro.ir.builder import LoopBuilder, pattern_from_offsets
+from repro.pathcover.heuristic import greedy_zero_cost_cover
+from repro.pathcover.verify import is_zero_cost_path
+
+from conftest import random_offsets
+
+
+class TestValidity:
+    def test_paper_example_cover_is_zero_cost(self, paper_graph):
+        cover = greedy_zero_cost_cover(paper_graph)
+        for path in cover:
+            assert is_zero_cost_path(path, paper_graph.pattern, 1)
+
+    def test_random_instances_always_zero_cost(self, rng):
+        for _ in range(60):
+            offsets = random_offsets(rng, rng.randint(1, 20))
+            m = rng.choice([1, 2, 4])
+            graph = AccessGraph(pattern_from_offsets(offsets), m)
+            cover = greedy_zero_cost_cover(graph)
+            assert cover.n_accesses == len(offsets)
+            for path in cover:
+                assert is_zero_cost_path(path, graph.pattern, m)
+
+    def test_monotone_chain_single_path(self):
+        # Offsets 0..5 with the wrap 0+1-5 = -4: must split, but the
+        # ascending prefix chains are still recognized.
+        graph = AccessGraph(pattern_from_offsets([0, 1, 2, 3, 4, 5]), 1)
+        cover = greedy_zero_cost_cover(graph)
+        for path in cover:
+            assert is_zero_cost_path(path, graph.pattern, 1)
+
+    def test_perfect_sliding_window(self):
+        # Classic FIR shape: offsets 0,1,2 then wrap 0+1-2 = -1: one
+        # register serves everything for free.
+        graph = AccessGraph(pattern_from_offsets([0, 1, 2]), 1)
+        cover = greedy_zero_cost_cover(graph)
+        assert cover.n_paths == 1
+
+
+class TestInfeasibility:
+    def test_step_exceeding_range_raises(self):
+        pattern = pattern_from_offsets([0], step=3)
+        with pytest.raises(InfeasibleZeroCostCover):
+            greedy_zero_cost_cover(AccessGraph(pattern, 1))
+
+    def test_coefficient_times_step_exceeding_range_raises(self):
+        pattern = (LoopBuilder().read("x", 0, coefficient=2)
+                   .build_pattern())
+        with pytest.raises(InfeasibleZeroCostCover):
+            greedy_zero_cost_cover(AccessGraph(pattern, 1))
+
+    def test_loop_invariant_accesses_always_feasible(self):
+        pattern = (LoopBuilder().read("h", 0, coefficient=0)
+                   .read("h", 9, coefficient=0).build_pattern())
+        cover = greedy_zero_cost_cover(AccessGraph(pattern, 1))
+        assert cover.n_paths == 2  # distance 9 > M forces two registers
+
+    def test_zero_modify_range_with_invariant_accesses(self):
+        pattern = (LoopBuilder().read("h", 4, coefficient=0)
+                   .read("h", 4, coefficient=0).build_pattern())
+        cover = greedy_zero_cost_cover(AccessGraph(pattern, 0))
+        assert cover.n_paths == 1  # same element: distance 0, wrap 0
+
+
+class TestQuality:
+    def test_never_worse_than_singletons(self, rng):
+        for _ in range(30):
+            offsets = random_offsets(rng, rng.randint(1, 15))
+            graph = AccessGraph(pattern_from_offsets(offsets), 2)
+            cover = greedy_zero_cost_cover(graph)
+            assert cover.n_paths <= len(offsets)

@@ -1,0 +1,154 @@
+"""Cross-module integration tests: the full story, end to end."""
+
+import pytest
+
+from repro import (
+    AddressRegisterAllocator,
+    AguSpec,
+    CostModel,
+    compile_kernel,
+    parse_kernel,
+)
+from repro.agu.codegen import generate_unoptimized_code
+from repro.agu.simulator import simulate
+from repro.core.config import AllocatorConfig
+from repro.ir.layout import MemoryLayout
+from repro.merging.exhaustive import optimal_allocation
+from repro.workloads.kernels import KERNELS
+from repro.workloads.random_patterns import (
+    RandomPatternConfig,
+    generate_batch,
+)
+
+
+class TestPaperNarrative:
+    """The complete story of the paper's sections 2-4 in one test class."""
+
+    SOURCE = """
+    for (i = 2; i <= N; i++) {
+        A[i+1]; A[i]; A[i+2]; A[i-1]; A[i+1]; A[i]; A[i-2];
+    }
+    """
+
+    def test_section2_to_section3_flow(self):
+        kernel = parse_kernel(self.SOURCE)
+
+        # Section 3.1: K~ virtual registers suffice for zero cost.
+        rich = AddressRegisterAllocator(AguSpec(8, 1)).allocate(kernel)
+        assert rich.k_tilde == 3
+        assert rich.is_zero_cost
+
+        # Section 3.2: constrain to K=2 -> merging, cost appears.
+        tight = AddressRegisterAllocator(AguSpec(2, 1)).allocate(kernel)
+        assert tight.n_registers_used == 2
+        assert tight.total_cost == 2
+
+        # The heuristic result matches the true optimum here.
+        optimum = optimal_allocation(kernel.pattern, 2, 1)
+        assert tight.total_cost == optimum.total_cost
+
+    def test_generated_code_audits_clean(self):
+        artifacts = compile_kernel(self.SOURCE, AguSpec(2, 1),
+                                   n_iterations=25)
+        sim = artifacts.simulation
+        assert sim.n_accesses_verified == 25 * 7
+        assert sim.overhead_per_iteration == \
+            artifacts.allocation.total_cost == 2
+
+
+class TestKernelsAcrossSpecs:
+    @pytest.mark.parametrize("k, m", [(1, 1), (2, 1), (4, 1), (2, 2),
+                                      (8, 4)])
+    def test_all_kernels_all_specs(self, k, m):
+        """Every kernel compiles, simulates, and audits on every AGU."""
+        spec = AguSpec(k, m)
+        for name in sorted(KERNELS):
+            kernel = KERNELS[name].kernel()
+            artifacts = compile_kernel(kernel, spec, n_iterations=4)
+            sim = artifacts.simulation
+            assert sim.overhead_per_iteration == \
+                artifacts.allocation.total_cost, name
+
+    def test_optimized_beats_baseline_everywhere(self):
+        spec = AguSpec(4, 1)
+        for name in sorted(KERNELS):
+            kernel = KERNELS[name].kernel()
+            artifacts = compile_kernel(kernel, spec, run_simulation=False)
+            baseline = generate_unoptimized_code(kernel.pattern, spec)
+            assert artifacts.program.overhead_per_iteration <= \
+                baseline.overhead_per_iteration, name
+
+
+class TestAllocatorAgainstOptimum:
+    def test_two_phase_heuristic_is_near_optimal(self, rng):
+        """On small instances the two-phase heuristic must stay within
+        a small additive gap of the exhaustive optimum (and never go
+        below it)."""
+        total_heuristic = 0
+        total_optimal = 0
+        allocator = AddressRegisterAllocator(AguSpec(2, 1))
+        patterns = generate_batch(RandomPatternConfig(9, offset_span=5),
+                                  25, seed=123)
+        for pattern in patterns:
+            heuristic_cost = allocator.allocate(pattern).total_cost
+            optimal_cost = optimal_allocation(pattern, 2, 1).total_cost
+            assert heuristic_cost >= optimal_cost
+            total_heuristic += heuristic_cost
+            total_optimal += optimal_cost
+        # Aggregate gap below 35 %: the heuristic is genuinely close.
+        assert total_heuristic <= 1.35 * total_optimal + 1
+
+
+class TestCostModelsEndToEnd:
+    def test_intra_merging_pays_more_steady_cost(self, rng):
+        """EXP-A2's claim as a deterministic aggregate test."""
+        patterns = generate_batch(RandomPatternConfig(14, offset_span=6),
+                                  20, seed=77)
+        steady_total = 0
+        intra_total = 0
+        for pattern in patterns:
+            steady = AddressRegisterAllocator(
+                AguSpec(2, 1),
+                AllocatorConfig(cost_model=CostModel.STEADY_STATE),
+            ).allocate(pattern)
+            intra = AddressRegisterAllocator(
+                AguSpec(2, 1),
+                AllocatorConfig(cost_model=CostModel.INTRA),
+            ).allocate(pattern)
+            from repro.merging.cost import cover_cost
+            steady_total += steady.total_cost
+            intra_total += cover_cost(intra.cover, pattern, 1,
+                                      CostModel.STEADY_STATE)
+        assert steady_total <= intra_total
+
+
+class TestScalarAndArrayTogether:
+    def test_kernel_feeds_both_optimizers(self):
+        """A kernel with arrays and scalars exercises the paper's
+        technique and its 'complementary' refs [4, 5] side by side."""
+        from repro.offset.sequence import AccessSequence
+        from repro.offset.soa import (
+            assignment_cost,
+            ofu_assignment,
+            tiebreak_soa,
+        )
+
+        kernel = parse_kernel("""
+        int x[64], y[64], a, b, c, d;
+        for (i = 0; i < 32; i++) {
+            a = x[i] * b;
+            c = x[i+1] * d;
+            y[i] = a + c;
+            b = a - d;
+        }
+        """)
+        # Arrays: allocate registers.
+        allocation = AddressRegisterAllocator(AguSpec(2, 1)) \
+            .allocate(kernel)
+        assert allocation.total_cost >= 0
+        # Scalars: lay out memory.
+        sequence = AccessSequence.from_kernel(kernel)
+        assert len(sequence) > 0
+        layout = tiebreak_soa(sequence)
+        assert assignment_cost(layout, sequence) <= \
+            assignment_cost(ofu_assignment(sequence), sequence)

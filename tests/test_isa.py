@@ -1,0 +1,64 @@
+"""Unit tests for the address instruction set."""
+
+import pytest
+
+from repro.agu.isa import Modify, PointTo, Use
+from repro.errors import CodegenError
+from repro.ir.layout import MemoryLayout
+from repro.ir.types import ArrayDecl
+
+
+class TestPointTo:
+    def test_resolve(self):
+        layout = MemoryLayout.contiguous([ArrayDecl("A", length=32)],
+                                         origin=100)
+        instr = PointTo(0, "A", 1, 3)
+        assert instr.resolve(layout, 5) == 108
+
+    def test_resolve_scales_by_element_size(self):
+        layout = MemoryLayout.contiguous(
+            [ArrayDecl("A", element_size=2, length=32)])
+        instr = PointTo(0, "A", 1, 0)
+        assert instr.resolve(layout, 4) == 8
+
+    def test_resolve_constant_index(self):
+        layout = MemoryLayout.contiguous([ArrayDecl("h", length=8)])
+        instr = PointTo(1, "h", 0, 5)
+        assert instr.resolve(layout, 999) == 5
+
+    def test_cost_is_unit(self):
+        assert PointTo(0, "A", 1, 0).cost == 1
+
+    @pytest.mark.parametrize("coeff, offset, fragment", [
+        (1, 3, "&A[i+3]"), (1, -2, "&A[i-2]"), (2, 1, "2*i+1"),
+        (0, 7, "&A[7]"),
+    ])
+    def test_str(self, coeff, offset, fragment):
+        assert fragment in str(PointTo(0, "A", coeff, offset))
+
+
+class TestModify:
+    def test_cost_is_unit(self):
+        assert Modify(0, 5).cost == 1
+
+    def test_str_positive_is_adar(self):
+        assert str(Modify(0, 5)) == "ADAR  AR0, #5"
+
+    def test_str_negative_is_sbar(self):
+        assert str(Modify(1, -3)) == "SBAR  AR1, #3"
+
+    def test_zero_delta_rejected(self):
+        with pytest.raises(CodegenError):
+            Modify(0, 0)
+
+
+class TestUse:
+    def test_cost_is_free(self):
+        assert Use(0, 0).cost == 0
+        assert Use(0, 0, post_modify=1).cost == 0
+
+    @pytest.mark.parametrize("post, fragment", [
+        (None, "*(AR0)"), (1, "*(AR0)+1"), (-2, "*(AR0)-2"), (0, "*(AR0)+0"),
+    ])
+    def test_str(self, post, fragment):
+        assert fragment in str(Use(0, 0, post_modify=post))

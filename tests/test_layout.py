@@ -1,0 +1,96 @@
+"""Unit tests for the memory layout model."""
+
+import pytest
+
+from repro.errors import LayoutError
+from repro.ir.expr import AffineExpr
+from repro.ir.layout import ArrayPlacement, MemoryLayout
+from repro.ir.parser import parse_kernel
+from repro.ir.types import ArrayAccess, ArrayDecl
+
+
+class TestContiguous:
+    def test_packs_back_to_back(self):
+        layout = MemoryLayout.contiguous(
+            [ArrayDecl("a", length=10), ArrayDecl("b", length=5)])
+        assert layout.base("a") == 0
+        assert layout.base("b") == 10
+
+    def test_origin_and_gap(self):
+        layout = MemoryLayout.contiguous(
+            [ArrayDecl("a", length=10), ArrayDecl("b", length=5)],
+            origin=100, gap=3)
+        assert layout.base("a") == 100
+        assert layout.base("b") == 113
+
+    def test_unknown_length_uses_default(self):
+        layout = MemoryLayout.contiguous([ArrayDecl("a"), ArrayDecl("b")])
+        assert layout.base("b") == MemoryLayout.DEFAULT_LENGTH
+
+    def test_element_size_scales_footprint(self):
+        layout = MemoryLayout.contiguous(
+            [ArrayDecl("a", element_size=2, length=4), ArrayDecl("b")])
+        assert layout.base("b") == 8
+
+
+class TestExplicit:
+    def test_explicit_bases(self):
+        layout = MemoryLayout.explicit(
+            {"a": 50, "b": 0},
+            [ArrayDecl("a", length=4), ArrayDecl("b", length=4)])
+        assert layout.base("a") == 50
+        assert layout.base("b") == 0
+
+    def test_missing_base_rejected(self):
+        with pytest.raises(LayoutError, match="no base address"):
+            MemoryLayout.explicit({"a": 0}, [ArrayDecl("a"), ArrayDecl("b")])
+
+    def test_undeclared_base_rejected(self):
+        with pytest.raises(LayoutError, match="undeclared"):
+            MemoryLayout.explicit({"a": 0, "zz": 8}, [ArrayDecl("a")])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(LayoutError, match="overlap"):
+            MemoryLayout.explicit(
+                {"a": 0, "b": 3},
+                [ArrayDecl("a", length=8), ArrayDecl("b", length=8)])
+
+    def test_duplicate_placement_rejected(self):
+        with pytest.raises(LayoutError, match="twice"):
+            MemoryLayout([ArrayPlacement(ArrayDecl("a"), 0),
+                          ArrayPlacement(ArrayDecl("a"), 10_000)])
+
+    def test_negative_base_rejected(self):
+        with pytest.raises(LayoutError, match="negative"):
+            MemoryLayout([ArrayPlacement(ArrayDecl("a"), -4)])
+
+
+class TestAddressing:
+    def test_address_of(self):
+        layout = MemoryLayout.contiguous([ArrayDecl("a", length=16)],
+                                         origin=10)
+        access = ArrayAccess("a", AffineExpr(1, 2))
+        assert layout.address_of(access, 5) == 10 + 7
+
+    def test_address_of_scaled_elements(self):
+        layout = MemoryLayout.contiguous(
+            [ArrayDecl("a", element_size=2, length=16)])
+        access = ArrayAccess("a", AffineExpr(1, 0))
+        assert layout.address_of(access, 3) == 6
+
+    def test_unplaced_array_rejected(self):
+        layout = MemoryLayout.contiguous([ArrayDecl("a")])
+        with pytest.raises(LayoutError, match="not placed"):
+            layout.base("zzz")
+
+    def test_contains_and_arrays(self):
+        layout = MemoryLayout.contiguous([ArrayDecl("a"), ArrayDecl("b")])
+        assert "a" in layout and "b" in layout and "c" not in layout
+        assert layout.arrays() == ("a", "b")
+
+    def test_for_kernel(self):
+        kernel = parse_kernel(
+            "int x[8], y[8]; for (i = 0; i < 4; i++) { y[i] = x[i]; }")
+        layout = MemoryLayout.for_kernel(kernel, gap=2)
+        assert layout.base("x") == 0
+        assert layout.base("y") == 10

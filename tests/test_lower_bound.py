@@ -1,0 +1,69 @@
+"""Unit tests for the matching-based lower bound and intra cover."""
+
+import random
+
+from repro.graph.access_graph import AccessGraph
+from repro.ir.builder import pattern_from_offsets
+from repro.pathcover.lower_bound import (
+    intra_cover_lower_bound,
+    min_intra_path_cover,
+)
+from repro.pathcover.verify import is_zero_cost_path
+
+from conftest import random_offsets
+
+
+class TestPaperExample:
+    def test_lower_bound_value(self, paper_graph):
+        # Two node-disjoint paths cover the intra DAG of Figure 1.
+        assert intra_cover_lower_bound(paper_graph) == 2
+
+    def test_cover_achieves_the_bound(self, paper_graph):
+        cover = min_intra_path_cover(paper_graph)
+        assert cover.n_paths == 2
+
+    def test_cover_paths_are_intra_zero_cost(self, paper_graph):
+        cover = min_intra_path_cover(paper_graph)
+        for path in cover:
+            assert is_zero_cost_path(path, paper_graph.pattern, 1,
+                                     include_wrap=False)
+
+
+class TestStructure:
+    def test_chain_needs_one_path(self):
+        graph = AccessGraph(pattern_from_offsets([0, 1, 2, 3]), 1)
+        assert intra_cover_lower_bound(graph) == 1
+
+    def test_antichain_needs_n_paths(self):
+        graph = AccessGraph(pattern_from_offsets([0, 10, 20, 30]), 1)
+        assert intra_cover_lower_bound(graph) == 4
+
+    def test_empty_pattern(self):
+        graph = AccessGraph(pattern_from_offsets([]), 1)
+        assert intra_cover_lower_bound(graph) == 0
+        assert min_intra_path_cover(graph).n_paths == 0
+
+    def test_single_access(self):
+        graph = AccessGraph(pattern_from_offsets([5]), 1)
+        assert intra_cover_lower_bound(graph) == 1
+
+    def test_wider_range_never_increases_bound(self, rng):
+        for _ in range(30):
+            offsets = random_offsets(rng, rng.randint(2, 14))
+            pattern = pattern_from_offsets(offsets)
+            narrow = intra_cover_lower_bound(AccessGraph(pattern, 1))
+            wide = intra_cover_lower_bound(AccessGraph(pattern, 3))
+            assert wide <= narrow
+
+
+class TestCoverValidity:
+    def test_cover_is_partition_on_random_instances(self, rng):
+        for _ in range(40):
+            offsets = random_offsets(rng, rng.randint(1, 16))
+            graph = AccessGraph(pattern_from_offsets(offsets), 1)
+            cover = min_intra_path_cover(graph)
+            assert cover.n_accesses == len(offsets)
+            assert cover.n_paths == intra_cover_lower_bound(graph)
+            for path in cover:
+                for p, q in path.transitions():
+                    assert graph.has_intra_edge(p, q)

@@ -1,0 +1,93 @@
+"""Unit tests for best-pair merging (the paper's phase 2)."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.ir.builder import pattern_from_offsets
+from repro.merging.cost import CostModel, cover_cost
+from repro.merging.greedy import best_pair_merge
+from repro.pathcover.branch_and_bound import minimum_zero_cost_cover
+from repro.pathcover.paths import Path, PathCover
+
+from conftest import random_offsets
+
+
+class TestPaperExample:
+    def test_merge_to_two_registers(self, paper_pattern):
+        cover = minimum_zero_cost_cover(paper_pattern, 1).cover
+        result = best_pair_merge(cover, 2, paper_pattern, 1)
+        assert result.n_registers == 2
+        assert result.total_cost == 2
+        assert len(result.steps) == 1
+
+    def test_merge_to_one_register(self, paper_pattern):
+        cover = minimum_zero_cost_cover(paper_pattern, 1).cover
+        result = best_pair_merge(cover, 1, paper_pattern, 1)
+        assert result.n_registers == 1
+        assert result.total_cost == 5
+        assert len(result.steps) == 2
+
+    def test_no_merging_needed(self, paper_pattern):
+        cover = minimum_zero_cost_cover(paper_pattern, 1).cover
+        result = best_pair_merge(cover, 3, paper_pattern, 1)
+        assert result.cover == cover
+        assert result.steps == ()
+        assert result.total_cost == 0
+
+
+class TestBehaviour:
+    def test_each_step_reduces_path_count_by_one(self, paper_pattern):
+        cover = PathCover.finest(7)
+        result = best_pair_merge(cover, 2, paper_pattern, 1)
+        assert len(result.steps) == 5
+        assert result.n_registers == 2
+
+    def test_total_cost_consistent_with_cover(self, rng):
+        for _ in range(25):
+            offsets = random_offsets(rng, rng.randint(4, 12))
+            pattern = pattern_from_offsets(offsets)
+            cover = PathCover.finest(len(offsets))
+            k = rng.randint(1, 3)
+            model = rng.choice(list(CostModel))
+            result = best_pair_merge(cover, k, pattern, 1, model)
+            assert result.total_cost == cover_cost(result.cover, pattern,
+                                                   1, model)
+
+    def test_deterministic(self, rng):
+        offsets = random_offsets(rng, 10)
+        pattern = pattern_from_offsets(offsets)
+        cover = PathCover.finest(10)
+        first = best_pair_merge(cover, 3, pattern, 1)
+        second = best_pair_merge(cover, 3, pattern, 1)
+        assert first.cover == second.cover
+        assert first.steps == second.steps
+
+    def test_steps_record_the_merged_paths(self, paper_pattern):
+        cover = minimum_zero_cost_cover(paper_pattern, 1).cover
+        result = best_pair_merge(cover, 2, paper_pattern, 1)
+        step = result.steps[0]
+        assert step.merged == step.left.merge(step.right)
+        assert "C=" in str(step)
+
+    def test_strategy_label(self, paper_pattern):
+        cover = PathCover.finest(7)
+        result = best_pair_merge(cover, 3, paper_pattern, 1)
+        assert result.strategy == "best_pair"
+
+
+class TestValidation:
+    def test_zero_registers_rejected(self, paper_pattern):
+        cover = PathCover.finest(7)
+        with pytest.raises(AllocationError):
+            best_pair_merge(cover, 0, paper_pattern, 1)
+
+    def test_mismatched_cover_rejected(self, paper_pattern):
+        cover = PathCover.finest(5)
+        with pytest.raises(AllocationError, match="5 accesses"):
+            best_pair_merge(cover, 2, paper_pattern, 1)
+
+    def test_single_path_cover_is_stable(self):
+        pattern = pattern_from_offsets([0, 1])
+        cover = PathCover((Path((0, 1)),), 2)
+        result = best_pair_merge(cover, 1, pattern, 1)
+        assert result.cover == cover

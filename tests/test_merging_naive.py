@@ -1,0 +1,82 @@
+"""Unit tests for the naive merging baselines."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.ir.builder import pattern_from_offsets
+from repro.merging.cost import cover_cost
+from repro.merging.naive import NAIVE_STRATEGIES, naive_merge
+from repro.pathcover.paths import PathCover
+
+from conftest import random_offsets
+
+
+class TestStrategies:
+    def test_all_strategies_reach_the_limit(self, paper_pattern):
+        cover = PathCover.finest(7)
+        for strategy in NAIVE_STRATEGIES:
+            result = naive_merge(cover, 2, paper_pattern, 1,
+                                 strategy=strategy, seed=1)
+            assert result.n_registers == 2
+            assert result.strategy == f"naive/{strategy}"
+
+    def test_random_is_seed_deterministic(self, paper_pattern):
+        cover = PathCover.finest(7)
+        a = naive_merge(cover, 2, paper_pattern, 1, seed=42)
+        b = naive_merge(cover, 2, paper_pattern, 1, seed=42)
+        assert a.cover == b.cover
+
+    def test_different_seeds_can_differ(self, paper_pattern):
+        cover = PathCover.finest(7)
+        results = {naive_merge(cover, 2, paper_pattern, 1,
+                               seed=seed).cover for seed in range(8)}
+        assert len(results) > 1
+
+    def test_first_pair_merges_leading_paths(self, paper_pattern):
+        cover = PathCover.finest(7)
+        result = naive_merge(cover, 6, paper_pattern, 1,
+                             strategy="first_pair")
+        merged = result.steps[0]
+        assert merged.left.first == 0
+        assert merged.right.first == 1
+
+    def test_last_pair_merges_trailing_paths(self, paper_pattern):
+        cover = PathCover.finest(7)
+        result = naive_merge(cover, 6, paper_pattern, 1,
+                             strategy="last_pair")
+        merged = result.steps[0]
+        assert merged.left.first == 5
+        assert merged.right.first == 6
+
+
+class TestConsistency:
+    def test_cost_matches_cover(self, rng):
+        for _ in range(20):
+            offsets = random_offsets(rng, rng.randint(3, 10))
+            pattern = pattern_from_offsets(offsets)
+            cover = PathCover.finest(len(offsets))
+            result = naive_merge(cover, 2, pattern, 1, seed=7)
+            assert result.total_cost == cover_cost(result.cover, pattern, 1)
+
+    def test_partition_preserved(self, rng):
+        offsets = random_offsets(rng, 9)
+        pattern = pattern_from_offsets(offsets)
+        result = naive_merge(PathCover.finest(9), 3, pattern, 1, seed=0)
+        assert result.cover.n_accesses == 9
+        assert sorted(p for path in result.cover for p in path) == \
+            list(range(9))
+
+
+class TestValidation:
+    def test_unknown_strategy_rejected(self, paper_pattern):
+        with pytest.raises(AllocationError, match="unknown naive strategy"):
+            naive_merge(PathCover.finest(7), 2, paper_pattern, 1,
+                        strategy="clever")
+
+    def test_zero_registers_rejected(self, paper_pattern):
+        with pytest.raises(AllocationError):
+            naive_merge(PathCover.finest(7), 0, paper_pattern, 1)
+
+    def test_mismatched_cover_rejected(self, paper_pattern):
+        with pytest.raises(AllocationError):
+            naive_merge(PathCover.finest(3), 2, paper_pattern, 1)

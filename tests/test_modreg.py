@@ -1,0 +1,189 @@
+"""Unit tests for the modify-register (MR) extension."""
+
+import pytest
+
+from repro.agu.codegen import generate_address_code
+from repro.agu.isa import LoadMr, Use
+from repro.agu.model import AguSpec
+from repro.agu.simulator import simulate
+from repro.core.config import AllocatorConfig
+from repro.errors import CodegenError
+from repro.graph.distance import transition_cost
+from repro.ir.builder import loop_from_offsets, pattern_from_offsets
+from repro.ir.layout import MemoryLayout
+from repro.ir.types import ArrayDecl
+from repro.merging.cost import CostModel, cover_cost, path_cost
+from repro.modreg import (
+    allocate_with_modify_registers,
+    delta_histogram,
+    residual_cost,
+    select_modify_values,
+)
+from repro.pathcover.paths import Path, PathCover
+
+#: Offsets engineered so a K=1 register repeatedly jumps by +10, +10,
+#: then back by -20 (wrap -19 with step 1): ideal MR material.
+JUMPY = [0, 10, 20, 0, 10, 20]
+
+
+@pytest.fixture
+def jumpy_cover():
+    pattern = pattern_from_offsets(JUMPY)
+    return pattern, PathCover.from_lists([range(6)], 6)
+
+
+class TestExtendedCostModel:
+    def test_free_delta_suppresses_cost(self):
+        assert transition_cost(10, 1) == 1
+        assert transition_cost(10, 1, frozenset({10})) == 0
+        assert transition_cost(-10, 1, frozenset({10})) == 1
+
+    def test_none_distance_never_free(self):
+        assert transition_cost(None, 1, frozenset({0, 1, 2})) == 1
+
+    def test_path_cost_with_free_deltas(self, jumpy_cover):
+        pattern, cover = jumpy_cover
+        path = cover.paths[0]
+        assert path_cost(path, pattern, 1) == 6
+        assert path_cost(path, pattern, 1,
+                         free_deltas=frozenset({10})) == 2
+        assert path_cost(path, pattern, 1,
+                         free_deltas=frozenset({10, -20, -19})) == 0
+
+
+class TestSelection:
+    def test_histogram_counts_unit_cost_deltas_only(self, jumpy_cover):
+        pattern, cover = jumpy_cover
+        histogram = delta_histogram(cover, pattern, 1)
+        assert histogram == {10: 4, -20: 1, -19: 1}
+
+    def test_intra_model_excludes_wrap(self, jumpy_cover):
+        pattern, cover = jumpy_cover
+        histogram = delta_histogram(cover, pattern, 1, CostModel.INTRA)
+        assert histogram == {10: 4, -20: 1}
+
+    def test_selection_is_top_frequency(self, jumpy_cover):
+        pattern, cover = jumpy_cover
+        assert select_modify_values(cover, pattern, 1, 1) == (10,)
+        values2 = select_modify_values(cover, pattern, 1, 2)
+        assert values2[0] == 10 and set(values2) < {10, -20, -19, -19}
+
+    def test_selection_zero_registers(self, jumpy_cover):
+        pattern, cover = jumpy_cover
+        assert select_modify_values(cover, pattern, 1, 0) == ()
+
+    def test_selection_caps_at_distinct_deltas(self, jumpy_cover):
+        pattern, cover = jumpy_cover
+        assert len(select_modify_values(cover, pattern, 1, 99)) == 3
+
+    def test_residual_cost(self, jumpy_cover):
+        pattern, cover = jumpy_cover
+        assert residual_cost(cover, pattern, 1, (10,)) == 2
+        assert residual_cost(cover, pattern, 1, (10, -20, -19)) == 0
+
+    def test_selection_optimality_exhaustive(self, rng):
+        """Greedy-by-frequency must equal brute force over value sets."""
+        import itertools
+        for _ in range(15):
+            offsets = [rng.randint(-8, 8) for _ in range(8)]
+            pattern = pattern_from_offsets(offsets)
+            cover = PathCover.from_lists([range(8)], 8)
+            histogram = delta_histogram(cover, pattern, 1)
+            candidates = list(histogram)
+            chosen = select_modify_values(cover, pattern, 1, 2)
+            best = min(
+                (residual_cost(cover, pattern, 1, combo)
+                 for r in range(min(2, len(candidates)) + 1)
+                 for combo in itertools.combinations(candidates, r)),
+                default=residual_cost(cover, pattern, 1, ()))
+            assert residual_cost(cover, pattern, 1, chosen) == best
+
+
+class TestRefinement:
+    def test_never_worse_than_baseline(self, rng):
+        for trial in range(15):
+            offsets = [rng.randint(-10, 10) for _ in range(12)]
+            pattern = pattern_from_offsets(offsets)
+            spec = AguSpec(2, 1, n_modify_registers=2)
+            result = allocate_with_modify_registers(pattern, spec)
+            assert result.total_cost <= result.baseline_cost
+            assert result.savings >= 0
+
+    def test_zero_mrs_reduces_to_paper(self):
+        pattern = pattern_from_offsets(JUMPY)
+        spec = AguSpec(1, 1)
+        result = allocate_with_modify_registers(pattern, spec)
+        assert result.modify_values == ()
+        assert result.total_cost == result.baseline_cost == 6
+
+    def test_jumpy_pattern_collapses(self):
+        pattern = pattern_from_offsets(JUMPY)
+        spec = AguSpec(1, 1, n_modify_registers=2)
+        result = allocate_with_modify_registers(pattern, spec)
+        assert result.total_cost <= 2
+        assert 10 in result.modify_values
+
+    def test_more_mrs_never_hurt(self):
+        pattern = pattern_from_offsets(JUMPY)
+        costs = [
+            allocate_with_modify_registers(
+                pattern, AguSpec(1, 1, n_modify_registers=r)).total_cost
+            for r in (0, 1, 2, 3)
+        ]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_empty_pattern(self):
+        result = allocate_with_modify_registers(
+            pattern_from_offsets([]), AguSpec(1, 1, n_modify_registers=2))
+        assert result.total_cost == 0
+
+
+class TestCodegenAndSimulation:
+    def test_program_uses_mr_folding(self):
+        pattern = pattern_from_offsets(JUMPY)
+        spec = AguSpec(1, 1, "mr", n_modify_registers=2)
+        result = allocate_with_modify_registers(pattern, spec)
+        program = generate_address_code(pattern, result.cover, spec,
+                                        modify_values=result.modify_values)
+        loads = [i for i in program.prologue if isinstance(i, LoadMr)]
+        assert len(loads) == len(result.modify_values)
+        folded = [i for i in program.body
+                  if isinstance(i, Use) and i.post_modify_mr is not None]
+        assert folded
+        assert program.overhead_per_iteration == result.total_cost
+
+    def test_simulation_verifies_mr_program(self):
+        pattern = pattern_from_offsets(JUMPY)
+        spec = AguSpec(1, 1, "mr", n_modify_registers=2)
+        result = allocate_with_modify_registers(pattern, spec)
+        program = generate_address_code(pattern, result.cover, spec,
+                                        modify_values=result.modify_values)
+        loop = loop_from_offsets(JUMPY, start=0, n_iterations=12)
+        layout = MemoryLayout.contiguous([ArrayDecl("A", length=64)])
+        simulation = simulate(program, loop, layout)
+        assert simulation.overhead_per_iteration == result.total_cost
+        assert simulation.n_accesses_verified == 12 * 6
+
+    def test_too_many_values_rejected(self, jumpy_cover):
+        pattern, cover = jumpy_cover
+        spec = AguSpec(1, 1, n_modify_registers=1)
+        with pytest.raises(CodegenError, match="modify registers"):
+            generate_address_code(pattern, cover, spec,
+                                  modify_values=(10, -20))
+
+    def test_duplicate_values_rejected(self, jumpy_cover):
+        pattern, cover = jumpy_cover
+        spec = AguSpec(1, 1, n_modify_registers=4)
+        with pytest.raises(CodegenError, match="duplicate"):
+            generate_address_code(pattern, cover, spec,
+                                  modify_values=(10, 10))
+
+    def test_merge_with_free_deltas_consistent(self, jumpy_cover):
+        pattern, _cover = jumpy_cover
+        from repro.merging.greedy import best_pair_merge
+        fine = PathCover.finest(6)
+        merged = best_pair_merge(fine, 1, pattern, 1,
+                                 free_deltas=frozenset({10}))
+        assert merged.total_cost == cover_cost(
+            merged.cover, pattern, 1,
+            free_deltas=frozenset({10}))

@@ -1,0 +1,117 @@
+"""Unit tests for general offset assignment (GOA)."""
+
+import pytest
+
+from repro.errors import OffsetAssignmentError
+from repro.offset.goa import (
+    goa_cost,
+    goa_first_use,
+    goa_greedy,
+    optimal_goa,
+)
+from repro.offset.sequence import AccessSequence, random_sequence
+
+
+class TestGoaCost:
+    def test_projected_costs_summed(self):
+        seq = AccessSequence(("a", "b", "c", "a", "b", "c"))
+        # One register for {a, b}, one for {c}: the c register never
+        # moves; a<->b alternates between neighbours.
+        assert goa_cost((("a", "b"), ("c",)), seq) == 0
+
+    def test_partition_must_cover_all_variables(self):
+        seq = AccessSequence(("a", "b"))
+        with pytest.raises(OffsetAssignmentError, match="misses"):
+            goa_cost((("a",),), seq)
+
+    def test_partition_must_not_overlap(self):
+        seq = AccessSequence(("a", "b"))
+        with pytest.raises(OffsetAssignmentError, match="two groups"):
+            goa_cost((("a", "b"), ("b",)), seq)
+
+
+class TestPartitioners:
+    def test_first_use_round_robin(self):
+        seq = AccessSequence(("a", "b", "c", "d"))
+        result = goa_first_use(seq, 2)
+        assert result.n_registers == 2
+        groups = [set(group) for group in result.groups]
+        assert {"a", "c"} in groups and {"b", "d"} in groups
+
+    def test_greedy_with_one_register_is_soa(self):
+        seq = random_sequence(6, 24, seed=2)
+        result = goa_greedy(seq, 1)
+        assert result.n_registers == 1
+        assert sorted(result.groups[0]) == sorted(seq.variables())
+
+    def test_greedy_never_uses_more_than_k(self):
+        seq = random_sequence(8, 30, seed=4)
+        for k in (1, 2, 3):
+            assert goa_greedy(seq, k).n_registers <= k
+
+    def test_greedy_beats_first_use_on_aggregate(self):
+        total_greedy = 0
+        total_baseline = 0
+        for seed in range(15):
+            seq = random_sequence(7, 30, seed=seed, locality=0.4)
+            total_greedy += goa_greedy(seq, 2).cost
+            total_baseline += goa_first_use(seq, 2).cost
+        assert total_greedy <= total_baseline
+
+    def test_more_registers_never_hurt_greedy(self):
+        seq = random_sequence(8, 36, seed=11)
+        costs = [goa_greedy(seq, k).cost for k in (1, 2, 4)]
+        assert costs[0] >= costs[1] >= costs[2]
+
+    def test_result_cost_is_consistent(self):
+        seq = random_sequence(6, 20, seed=7)
+        result = goa_greedy(seq, 2)
+        assert result.cost == goa_cost(result.groups, seq)
+
+    def test_empty_sequence(self):
+        result = goa_greedy(AccessSequence(()), 3)
+        assert result.cost == 0
+        assert result.groups == ()
+
+    def test_invalid_register_count(self):
+        seq = AccessSequence(("a",))
+        with pytest.raises(OffsetAssignmentError):
+            goa_greedy(seq, 0)
+        with pytest.raises(OffsetAssignmentError):
+            goa_first_use(seq, 0)
+
+
+class TestOptimalGoa:
+    def test_floors_the_heuristics(self):
+        for seed in range(12):
+            seq = random_sequence(5, 18, seed=seed, locality=0.4)
+            for k in (1, 2, 3):
+                best = optimal_goa(seq, k)
+                assert best.cost <= goa_greedy(seq, k).cost
+                assert best.cost <= goa_first_use(seq, k).cost
+
+    def test_k1_equals_optimal_soa(self):
+        from repro.offset.soa import assignment_cost, optimal_assignment
+        seq = random_sequence(5, 20, seed=3)
+        best = optimal_goa(seq, 1)
+        assert best.cost == assignment_cost(optimal_assignment(seq), seq)
+
+    def test_partition_is_valid(self):
+        seq = random_sequence(5, 15, seed=9)
+        best = optimal_goa(seq, 2)
+        names = sorted(name for group in best.groups for name in group)
+        assert names == sorted(seq.variables())
+        assert best.cost == goa_cost(best.groups, seq)
+
+    def test_monotone_in_k(self):
+        seq = random_sequence(6, 24, seed=4, locality=0.3)
+        costs = [optimal_goa(seq, k).cost for k in (1, 2, 3)]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_guard(self):
+        seq = AccessSequence(tuple(f"v{i}" for i in range(9)))
+        with pytest.raises(OffsetAssignmentError, match="exceed"):
+            optimal_goa(seq, 2)
+
+    def test_empty(self):
+        assert optimal_goa(AccessSequence(()), 2).cost == 0

@@ -1,0 +1,99 @@
+"""Unit tests for scalar access sequences and their access graph."""
+
+import pytest
+
+from repro.errors import OffsetAssignmentError
+from repro.ir.parser import parse_kernel
+from repro.offset.access_graph import VariableAccessGraph
+from repro.offset.sequence import AccessSequence, random_sequence
+
+
+class TestAccessSequence:
+    def test_variables_in_first_use_order(self):
+        seq = AccessSequence(("b", "a", "b", "c"))
+        assert seq.variables() == ("b", "a", "c")
+
+    def test_transitions_skip_repeats(self):
+        seq = AccessSequence(("a", "a", "b", "b", "a"))
+        assert seq.transitions() == [("a", "b"), ("b", "a")]
+
+    def test_project(self):
+        seq = AccessSequence(("a", "b", "c", "a", "b"))
+        assert seq.project(frozenset({"a", "c"})).names == ("a", "c", "a")
+
+    def test_from_kernel(self):
+        kernel = parse_kernel("""
+        for (i = 0; i < 4; i++) {
+            acc = A[i] * gain;
+            y[i] = acc + bias;
+        }
+        """)
+        seq = AccessSequence.from_kernel(kernel)
+        assert seq.names == ("gain", "acc", "acc", "bias")
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(OffsetAssignmentError):
+            AccessSequence(("ok", "not ok"))
+
+    def test_len_iter_str(self):
+        seq = AccessSequence(("x", "y"))
+        assert len(seq) == 2
+        assert list(seq) == ["x", "y"]
+        assert str(seq) == "x y"
+
+
+class TestRandomSequence:
+    def test_deterministic(self):
+        assert random_sequence(5, 30, seed=3) == \
+            random_sequence(5, 30, seed=3)
+
+    def test_length_and_names(self):
+        seq = random_sequence(4, 25, seed=1)
+        assert len(seq) == 25
+        assert set(seq.names) <= {f"v{i}" for i in range(4)}
+
+    def test_locality_extremes(self):
+        # locality=1: after the first access only the two most recent
+        # variables are revisited.
+        seq = random_sequence(8, 40, seed=5, locality=1.0)
+        assert len(set(seq.names)) <= 2
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_variables=0, length=5),
+        dict(n_variables=3, length=-1),
+        dict(n_variables=3, length=5, locality=1.5),
+    ])
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(OffsetAssignmentError):
+            random_sequence(**kwargs)
+
+
+class TestVariableAccessGraph:
+    def test_weights_count_adjacencies(self):
+        seq = AccessSequence(("a", "b", "a", "b", "c"))
+        graph = VariableAccessGraph(seq)
+        assert graph.weight("a", "b") == 3
+        assert graph.weight("b", "c") == 1
+        assert graph.weight("a", "c") == 0
+
+    def test_weight_is_symmetric(self):
+        seq = AccessSequence(("a", "b", "b", "a"))
+        graph = VariableAccessGraph(seq)
+        assert graph.weight("a", "b") == graph.weight("b", "a") == 2
+
+    def test_total_weight_counts_costable_transitions(self):
+        seq = AccessSequence(("a", "b", "c", "a"))
+        graph = VariableAccessGraph(seq)
+        assert graph.total_weight == 3
+
+    def test_incident_weight(self):
+        seq = AccessSequence(("a", "b", "a", "c"))
+        graph = VariableAccessGraph(seq)
+        assert graph.incident_weight("a") == 3
+        assert graph.incident_weight("b") == 2
+        assert graph.incident_weight("c") == 1
+
+    def test_edges_sorted_names(self):
+        seq = AccessSequence(("z", "a"))
+        graph = VariableAccessGraph(seq)
+        assert graph.edges() == [(1, "a", "z")]

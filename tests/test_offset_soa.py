@@ -1,0 +1,121 @@
+"""Unit tests for simple offset assignment (SOA)."""
+
+import pytest
+
+from repro.errors import OffsetAssignmentError
+from repro.offset.sequence import AccessSequence, random_sequence
+from repro.offset.soa import (
+    assignment_cost,
+    liao_soa,
+    ofu_assignment,
+    optimal_assignment,
+    tiebreak_soa,
+)
+
+
+class TestAssignmentCost:
+    def test_free_neighbours(self):
+        seq = AccessSequence(("a", "b", "a"))
+        assert assignment_cost(("a", "b"), seq) == 0
+
+    def test_costly_jump(self):
+        seq = AccessSequence(("a", "c", "a"))
+        assert assignment_cost(("a", "b", "c"), seq) == 2
+
+    def test_wider_auto_range(self):
+        seq = AccessSequence(("a", "c", "a"))
+        assert assignment_cost(("a", "b", "c"), seq, auto_range=2) == 0
+
+    def test_same_variable_always_free(self):
+        seq = AccessSequence(("a", "a", "a"))
+        assert assignment_cost(("a",), seq) == 0
+
+    def test_missing_variable_rejected(self):
+        seq = AccessSequence(("a", "b"))
+        with pytest.raises(OffsetAssignmentError, match="misses"):
+            assignment_cost(("a",), seq)
+
+    def test_duplicate_variable_rejected(self):
+        seq = AccessSequence(("a", "b"))
+        with pytest.raises(OffsetAssignmentError, match="repeats"):
+            assignment_cost(("a", "b", "a"), seq)
+
+    def test_negative_auto_range_rejected(self):
+        with pytest.raises(OffsetAssignmentError):
+            assignment_cost(("a",), AccessSequence(("a",)), auto_range=-1)
+
+    def test_extra_variables_in_assignment_allowed(self):
+        # A layout may place variables the sequence never touches.
+        seq = AccessSequence(("a", "b"))
+        assert assignment_cost(("a", "b", "zz"), seq) == 0
+
+
+class TestHeuristics:
+    def test_ofu_is_first_use_order(self):
+        seq = AccessSequence(("c", "a", "c", "b"))
+        assert ofu_assignment(seq) == ("c", "a", "b")
+
+    def test_liao_chains_heavy_edges(self):
+        # a-b adjacent 3 times, b-c once: the heavy edge must be laid
+        # out contiguously.
+        seq = AccessSequence(("a", "b", "a", "b", "c", "b"))
+        layout = liao_soa(seq)
+        positions = {name: index for index, name in enumerate(layout)}
+        assert abs(positions["a"] - positions["b"]) == 1
+
+    def test_empty_sequence(self):
+        seq = AccessSequence(())
+        assert liao_soa(seq) == ()
+        assert tiebreak_soa(seq) == ()
+        assert ofu_assignment(seq) == ()
+
+    def test_single_variable(self):
+        seq = AccessSequence(("x", "x"))
+        assert liao_soa(seq) == ("x",)
+
+    def test_assignments_are_permutations(self):
+        for seed in range(20):
+            seq = random_sequence(6, 25, seed=seed)
+            for heuristic in (ofu_assignment, liao_soa, tiebreak_soa):
+                layout = heuristic(seq)
+                assert sorted(layout) == sorted(seq.variables())
+
+    def test_heuristics_beat_ofu_on_aggregate(self):
+        totals = {"ofu": 0, "liao": 0, "tiebreak": 0}
+        for seed in range(40):
+            seq = random_sequence(7, 30, seed=seed, locality=0.4)
+            totals["ofu"] += assignment_cost(ofu_assignment(seq), seq)
+            totals["liao"] += assignment_cost(liao_soa(seq), seq)
+            totals["tiebreak"] += assignment_cost(tiebreak_soa(seq), seq)
+        assert totals["liao"] < totals["ofu"]
+        assert totals["tiebreak"] <= totals["liao"]
+
+
+class TestOptimal:
+    def test_never_worse_than_heuristics(self):
+        for seed in range(25):
+            seq = random_sequence(6, 20, seed=seed)
+            best = assignment_cost(optimal_assignment(seq), seq)
+            assert best <= assignment_cost(liao_soa(seq), seq)
+            assert best <= assignment_cost(tiebreak_soa(seq), seq)
+            assert best <= assignment_cost(ofu_assignment(seq), seq)
+
+    def test_guard_on_large_instances(self):
+        seq = AccessSequence(tuple(f"v{i}" for i in range(12)))
+        with pytest.raises(OffsetAssignmentError, match="exceed"):
+            optimal_assignment(seq)
+
+    def test_empty(self):
+        assert optimal_assignment(AccessSequence(())) == ()
+
+    def test_known_instance(self):
+        # Weights: ab=4, cd=3, bc=1, da=1.  A layout like (b,a,d,c)
+        # covers ab, ad, dc = 8 of the 9 transitions: cost exactly 1.
+        seq = AccessSequence(("a", "b", "a", "b", "c", "d", "c", "d",
+                              "a", "b"))
+        best = optimal_assignment(seq)
+        cost = assignment_cost(best, seq)
+        assert cost == 1
+        positions = {name: index for index, name in enumerate(best)}
+        assert abs(positions["a"] - positions["b"]) == 1
+        assert abs(positions["c"] - positions["d"]) == 1

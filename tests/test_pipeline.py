@@ -1,0 +1,74 @@
+"""Unit tests for the end-to-end compilation pipeline."""
+
+import pytest
+
+from repro.agu.model import AguSpec
+from repro.core.pipeline import (
+    DEFAULT_SIMULATION_ITERATIONS,
+    compile_kernel,
+)
+from repro.errors import ParseError
+from repro.ir.parser import parse_kernel
+
+PAPER_SOURCE = """
+for (i = 2; i <= N; i++) {
+    A[i+1]; A[i]; A[i+2]; A[i-1]; A[i+1]; A[i]; A[i-2];
+}
+"""
+
+
+class TestFromSource:
+    def test_compiles_and_simulates(self):
+        artifacts = compile_kernel(PAPER_SOURCE, AguSpec(2, 1),
+                                   name="paper")
+        assert artifacts.kernel.name == "paper"
+        assert artifacts.allocation.total_cost == 2
+        assert artifacts.overhead_per_iteration == 2
+        assert artifacts.simulation is not None
+        assert artifacts.simulation.n_iterations == \
+            DEFAULT_SIMULATION_ITERATIONS
+        assert "USE" in artifacts.listing
+
+    def test_explicit_iteration_count(self):
+        artifacts = compile_kernel(PAPER_SOURCE, AguSpec(2, 1),
+                                   n_iterations=5)
+        assert artifacts.simulation.n_iterations == 5
+
+    def test_simulation_can_be_skipped(self):
+        artifacts = compile_kernel(PAPER_SOURCE, AguSpec(2, 1),
+                                   run_simulation=False)
+        assert artifacts.simulation is None
+
+    def test_parse_errors_propagate(self):
+        with pytest.raises(ParseError):
+            compile_kernel("for (i = 0; i < 3; i++) { A[i] }",
+                           AguSpec(2, 1))
+
+
+class TestFromKernel:
+    def test_accepts_parsed_kernel(self):
+        kernel = parse_kernel(
+            "int x[64], y[64]; "
+            "for (i = 0; i < 32; i++) { y[i] = x[i] + x[i+1]; }")
+        artifacts = compile_kernel(kernel, AguSpec(3, 1))
+        assert artifacts.allocation.is_zero_cost
+        assert artifacts.simulation.n_iterations == 32
+
+    def test_layout_keeps_arrays_outside_modify_range(self):
+        kernel = parse_kernel(
+            "int x[8], y[8]; "
+            "for (i = 0; i < 4; i++) { y[i] = x[i]; }")
+        artifacts = compile_kernel(kernel, AguSpec(2, 3))
+        gap = artifacts.layout.base("y") - (artifacts.layout.base("x") + 8)
+        assert gap > 3
+
+    def test_audit_consistency(self):
+        # The simulated overhead must equal the allocation cost: this is
+        # the library's central cross-check, end to end.
+        kernel = parse_kernel(
+            "int x[64], h[8], y[64], acc; "
+            "for (i = 0; i < 40; i++) { "
+            "  acc = x[i]*h[0] + x[i+4]*h[1]; y[i] = acc; }")
+        artifacts = compile_kernel(kernel, AguSpec(2, 1))
+        assert artifacts.simulation.overhead_per_iteration == \
+            artifacts.allocation.total_cost

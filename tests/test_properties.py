@@ -1,0 +1,204 @@
+"""Property-based tests (hypothesis) on the library's core invariants."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.agu.codegen import generate_address_code
+from repro.agu.model import AguSpec
+from repro.agu.simulator import simulate
+from repro.graph.access_graph import AccessGraph
+from repro.ir.builder import pattern_from_offsets
+from repro.ir.expr import AffineExpr
+from repro.ir.layout import MemoryLayout
+from repro.ir.parser import parse_kernel
+from repro.ir.types import ArrayDecl, Loop
+from repro.merging.cost import CostModel, cover_cost, path_cost
+from repro.merging.greedy import best_pair_merge
+from repro.pathcover.branch_and_bound import minimum_zero_cost_cover
+from repro.pathcover.heuristic import greedy_zero_cost_cover
+from repro.pathcover.lower_bound import (
+    intra_cover_lower_bound,
+    min_intra_path_cover,
+)
+from repro.pathcover.paths import Path, PathCover
+from repro.pathcover.verify import is_zero_cost_path
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+offsets_lists = st.lists(st.integers(-6, 6), min_size=1, max_size=14)
+small_offsets_lists = st.lists(st.integers(-4, 4), min_size=1, max_size=9)
+modify_ranges = st.integers(0, 4)
+
+
+@st.composite
+def pattern_and_partition(draw):
+    """A random pattern plus a random valid path cover of it."""
+    offsets = draw(offsets_lists)
+    n = len(offsets)
+    n_groups = draw(st.integers(1, n))
+    assignment = [draw(st.integers(0, n_groups - 1)) for _ in range(n)]
+    groups: dict[int, list[int]] = {}
+    for position, group in enumerate(assignment):
+        groups.setdefault(group, []).append(position)
+    pattern = pattern_from_offsets(offsets)
+    cover = PathCover.from_lists(groups.values(), n)
+    return pattern, cover
+
+
+# ----------------------------------------------------------------------
+# Affine expressions
+# ----------------------------------------------------------------------
+class TestAffineExprProperties:
+    @given(st.integers(-9, 9), st.integers(-9, 9), st.integers(-9, 9),
+           st.integers(-9, 9), st.integers(-50, 50))
+    def test_addition_is_pointwise(self, c1, d1, c2, d2, x):
+        left = AffineExpr(c1, d1)
+        right = AffineExpr(c2, d2)
+        assert (left + right).evaluate(x) == \
+            left.evaluate(x) + right.evaluate(x)
+
+    @given(st.integers(-9, 9), st.integers(-9, 9), st.integers(-5, 5),
+           st.integers(-50, 50))
+    def test_scaling_is_pointwise(self, c, d, factor, x):
+        expr = AffineExpr(c, d)
+        assert (expr * factor).evaluate(x) == factor * expr.evaluate(x)
+
+    @given(st.integers(-9, 9), st.integers(-9, 9), st.integers(-9, 9))
+    def test_distance_is_antisymmetric(self, c, d1, d2):
+        a, b = AffineExpr(c, d1), AffineExpr(c, d2)
+        assert a.distance_to(b) == -(b.distance_to(a))
+
+
+# ----------------------------------------------------------------------
+# Cost model
+# ----------------------------------------------------------------------
+class TestCostProperties:
+    @given(pattern_and_partition(), modify_ranges)
+    def test_cover_cost_is_sum_of_path_costs(self, instance, m):
+        pattern, cover = instance
+        total = cover_cost(cover, pattern, m)
+        assert total == sum(path_cost(path, pattern, m) for path in cover)
+
+    @given(pattern_and_partition(), modify_ranges)
+    def test_steady_state_adds_at_most_one_per_path(self, instance, m):
+        pattern, cover = instance
+        for path in cover:
+            intra = path_cost(path, pattern, m, CostModel.INTRA)
+            steady = path_cost(path, pattern, m, CostModel.STEADY_STATE)
+            assert intra <= steady <= intra + 1
+
+    @given(pattern_and_partition(), modify_ranges)
+    def test_costs_bounded_by_transition_count(self, instance, m):
+        pattern, cover = instance
+        for path in cover:
+            assert 0 <= path_cost(path, pattern, m) <= len(path)
+
+
+# ----------------------------------------------------------------------
+# Paths and merging
+# ----------------------------------------------------------------------
+class TestPathProperties:
+    @given(st.sets(st.integers(0, 30), min_size=2, max_size=12))
+    def test_merge_is_sorted_union(self, members):
+        members = sorted(members)
+        split = len(members) // 2
+        left = Path(tuple(members[:split or 1]))
+        right = Path(tuple(members[split or 1:]))
+        merged = left.merge(right)
+        assert list(merged) == members
+        assert merged == right.merge(left)
+
+    @given(pattern_and_partition(), st.integers(1, 4), modify_ranges)
+    def test_best_pair_merge_meets_limit_and_partition(self, instance, k, m):
+        pattern, cover = instance
+        result = best_pair_merge(cover, k, pattern, m)
+        assert result.n_registers == min(cover.n_paths, k)
+        covered = sorted(p for path in result.cover for p in path)
+        assert covered == list(range(len(pattern)))
+
+
+# ----------------------------------------------------------------------
+# Phase 1: covers and bounds
+# ----------------------------------------------------------------------
+class TestCoverProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(offsets_lists, st.integers(1, 3))
+    def test_bounds_bracket_k_tilde(self, offsets, m):
+        pattern = pattern_from_offsets(offsets)
+        graph = AccessGraph(pattern, m)
+        lb = intra_cover_lower_bound(graph)
+        ub = greedy_zero_cost_cover(graph).n_paths
+        result = minimum_zero_cost_cover(pattern, m)
+        assert lb <= result.k_tilde <= ub
+
+    @settings(max_examples=40, deadline=None)
+    @given(offsets_lists, st.integers(1, 3))
+    def test_exact_cover_is_zero_cost_partition(self, offsets, m):
+        pattern = pattern_from_offsets(offsets)
+        result = minimum_zero_cost_cover(pattern, m)
+        covered = sorted(p for path in result.cover for p in path)
+        assert covered == list(range(len(offsets)))
+        for path in result.cover:
+            assert is_zero_cost_path(path, pattern, m)
+
+    @settings(max_examples=40, deadline=None)
+    @given(offsets_lists, st.integers(1, 3))
+    def test_matching_cover_achieves_matching_bound(self, offsets, m):
+        graph = AccessGraph(pattern_from_offsets(offsets), m)
+        cover = min_intra_path_cover(graph)
+        assert cover.n_paths == intra_cover_lower_bound(graph)
+
+    @settings(max_examples=30, deadline=None)
+    @given(small_offsets_lists)
+    def test_k_tilde_weakly_decreases_in_m(self, offsets):
+        pattern = pattern_from_offsets(offsets)
+        sizes = [minimum_zero_cost_cover(pattern, m).k_tilde
+                 for m in (1, 2, 3)]
+        assert sizes[0] >= sizes[1] >= sizes[2]
+
+
+# ----------------------------------------------------------------------
+# Codegen + simulator agree with the model (the central audit)
+# ----------------------------------------------------------------------
+class TestEndToEndProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(pattern_and_partition(), st.integers(1, 2),
+           st.integers(1, 6))
+    def test_simulated_overhead_equals_model_cost(self, instance, m,
+                                                  iterations):
+        pattern, cover = instance
+        spec = AguSpec(max(cover.n_paths, 1), m)
+        program = generate_address_code(pattern, cover, spec)
+        loop = Loop(pattern, start=0, n_iterations=iterations)
+        layout = MemoryLayout.contiguous([ArrayDecl("A", length=64)],
+                                         origin=32)
+        result = simulate(program, loop, layout)
+        assert result.overhead_per_iteration == \
+            cover_cost(cover, pattern, m, CostModel.STEADY_STATE)
+        assert result.n_accesses_verified == iterations * len(pattern)
+
+
+# ----------------------------------------------------------------------
+# Frontend round-trip
+# ----------------------------------------------------------------------
+class TestParserProperties:
+    @settings(max_examples=50)
+    @given(offsets_lists)
+    def test_offsets_round_trip_through_source(self, offsets):
+        body = " ".join(
+            f"A[i+{offset}];" if offset >= 0 else f"A[i-{-offset}];"
+            for offset in offsets)
+        kernel = parse_kernel(
+            f"for (i = 8; i < 20; i++) {{ {body} }}")
+        assert kernel.pattern.offsets() == tuple(offsets)
+
+    @settings(max_examples=30)
+    @given(st.integers(-10, 20), st.integers(1, 30), st.integers(1, 3))
+    def test_iteration_count_matches_semantics(self, start, span, step):
+        bound = start + span
+        kernel = parse_kernel(
+            f"for (i = {start}; i < {bound}; i += {step}) {{ A[i]; }}")
+        values = [v for v in range(start, bound, step)]
+        assert kernel.loop.n_iterations == len(values)
+        assert kernel.loop.iteration_values() == values

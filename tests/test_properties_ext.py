@@ -1,0 +1,103 @@
+"""Property-based tests for the extensions (modreg, reorder, trace)."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.agu.model import AguSpec
+from repro.ir.builder import pattern_from_offsets
+from repro.ir.expr import AffineExpr
+from repro.ir.types import AccessPattern, ArrayAccess
+from repro.merging.cost import cover_cost
+from repro.modreg.selection import residual_cost, select_modify_values
+from repro.pathcover.paths import PathCover
+from repro.reorder.dependence import dependence_edges, is_valid_order
+from repro.reorder.search import greedy_chain_order, reorder_pattern
+from repro.workloads.trace import format_trace, parse_trace
+
+offsets_lists = st.lists(st.integers(-8, 8), min_size=1, max_size=12)
+
+
+@st.composite
+def rich_patterns(draw):
+    """Patterns with multiple arrays, coefficients, writes, and steps."""
+    n = draw(st.integers(1, 10))
+    step = draw(st.sampled_from([1, 2, -1]))
+    accesses = []
+    for _ in range(n):
+        array = draw(st.sampled_from(["A", "B"]))
+        coefficient = draw(st.sampled_from([0, 1, 2]))
+        offset = draw(st.integers(-6, 6))
+        write = draw(st.booleans())
+        accesses.append(ArrayAccess(array, AffineExpr(coefficient, offset),
+                                    is_write=write))
+    return AccessPattern(tuple(accesses), step=step)
+
+
+class TestTraceProperties:
+    @settings(max_examples=60)
+    @given(rich_patterns())
+    def test_round_trip(self, pattern):
+        assert parse_trace(format_trace(pattern)) == pattern
+
+    @settings(max_examples=30)
+    @given(rich_patterns())
+    def test_text_is_line_per_access_plus_header(self, pattern):
+        text = format_trace(pattern)
+        lines = [line for line in text.splitlines() if line.strip()]
+        assert len(lines) == len(pattern) + 1
+
+
+class TestModRegProperties:
+    @settings(max_examples=40)
+    @given(offsets_lists, st.integers(0, 4))
+    def test_residual_never_exceeds_plain_cost(self, offsets, n_mrs):
+        pattern = pattern_from_offsets(offsets)
+        cover = PathCover.from_lists([range(len(offsets))], len(offsets))
+        values = select_modify_values(cover, pattern, 1, n_mrs)
+        assert len(values) <= n_mrs
+        assert residual_cost(cover, pattern, 1, values) <= \
+            cover_cost(cover, pattern, 1)
+
+    @settings(max_examples=40)
+    @given(offsets_lists)
+    def test_residual_monotone_in_register_count(self, offsets):
+        pattern = pattern_from_offsets(offsets)
+        cover = PathCover.from_lists([range(len(offsets))], len(offsets))
+        residuals = [
+            residual_cost(cover, pattern, 1,
+                          select_modify_values(cover, pattern, 1, n_mrs))
+            for n_mrs in range(5)
+        ]
+        assert residuals == sorted(residuals, reverse=True)
+
+    @settings(max_examples=40)
+    @given(offsets_lists)
+    def test_selected_values_are_outside_modify_range(self, offsets):
+        pattern = pattern_from_offsets(offsets)
+        cover = PathCover.from_lists([range(len(offsets))], len(offsets))
+        for value in select_modify_values(cover, pattern, 1, 4):
+            assert abs(value) > 1
+
+
+class TestReorderProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(rich_patterns())
+    def test_greedy_chain_order_is_valid(self, pattern):
+        order = greedy_chain_order(pattern, 1)
+        assert sorted(order) == list(range(len(pattern)))
+        assert is_valid_order(order, dependence_edges(pattern))
+
+    @settings(max_examples=25, deadline=None)
+    @given(rich_patterns())
+    def test_reordered_pattern_preserves_multiset(self, pattern):
+        order = greedy_chain_order(pattern, 1)
+        permuted = reorder_pattern(pattern, order)
+        assert sorted(map(str, permuted)) == sorted(map(str, pattern))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(st.integers(-5, 5), min_size=2, max_size=8))
+    def test_full_search_never_worse(self, offsets):
+        from repro.reorder.search import reorder_accesses
+        pattern = pattern_from_offsets(offsets)
+        result = reorder_accesses(pattern, AguSpec(2, 1))
+        assert result.cost <= result.baseline_cost

@@ -1,0 +1,78 @@
+"""Property-based tests for the offset-assignment substrate."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.offset.access_graph import VariableAccessGraph
+from repro.offset.sequence import AccessSequence
+from repro.offset.soa import (
+    assignment_cost,
+    liao_soa,
+    ofu_assignment,
+    optimal_assignment,
+    tiebreak_soa,
+)
+
+variable_names = st.sampled_from(["a", "b", "c", "d", "e", "f"])
+sequences = st.lists(variable_names, min_size=0, max_size=20).map(
+    lambda names: AccessSequence(tuple(names)))
+
+
+class TestSoaProperties:
+    @given(sequences)
+    def test_heuristics_return_permutations(self, sequence):
+        expected = sorted(sequence.variables())
+        for heuristic in (ofu_assignment, liao_soa, tiebreak_soa):
+            assert sorted(heuristic(sequence)) == expected
+
+    @settings(max_examples=50, deadline=None)
+    @given(sequences)
+    def test_optimal_is_the_floor(self, sequence):
+        best = assignment_cost(optimal_assignment(sequence), sequence)
+        for heuristic in (ofu_assignment, liao_soa, tiebreak_soa):
+            assert best <= assignment_cost(heuristic(sequence), sequence)
+
+    @given(sequences)
+    def test_cost_bounded_by_transitions(self, sequence):
+        layout = ofu_assignment(sequence)
+        cost = assignment_cost(layout, sequence)
+        assert 0 <= cost <= len(sequence.transitions())
+
+    @given(sequences, st.integers(0, 5))
+    def test_cost_weakly_decreases_in_auto_range(self, sequence,
+                                                 auto_range):
+        layout = ofu_assignment(sequence)
+        narrow = assignment_cost(layout, sequence, auto_range=auto_range)
+        wide = assignment_cost(layout, sequence, auto_range=auto_range + 1)
+        assert wide <= narrow
+
+    @given(sequences)
+    def test_mirror_layout_has_equal_cost(self, sequence):
+        layout = liao_soa(sequence)
+        assert assignment_cost(layout, sequence) == \
+            assignment_cost(tuple(reversed(layout)), sequence)
+
+
+class TestAccessGraphProperties:
+    @given(sequences)
+    def test_total_weight_counts_transitions(self, sequence):
+        graph = VariableAccessGraph(sequence)
+        assert graph.total_weight == len(sequence.transitions())
+
+    @given(sequences)
+    def test_incident_weights_sum_to_twice_total(self, sequence):
+        graph = VariableAccessGraph(sequence)
+        total = sum(graph.incident_weight(name)
+                    for name in graph.variables)
+        assert total == 2 * graph.total_weight
+
+    @given(sequences)
+    def test_cost_equals_uncovered_weight_for_chain_layouts(self, sequence):
+        """For any layout, cost = total weight - weight of edges between
+        memory neighbours (the defining identity of SOA)."""
+        graph = VariableAccessGraph(sequence)
+        layout = tiebreak_soa(sequence)
+        covered = sum(graph.weight(u, v)
+                      for u, v in zip(layout, layout[1:]))
+        assert assignment_cost(layout, sequence) == \
+            graph.total_weight - covered

@@ -1,0 +1,159 @@
+"""Unit tests for the access-reordering extension."""
+
+import pytest
+
+from repro.agu.model import AguSpec
+from repro.errors import AllocationError
+from repro.ir.builder import LoopBuilder, pattern_from_offsets
+from repro.ir.expr import AffineExpr
+from repro.ir.types import AccessPattern, ArrayAccess
+from repro.reorder.dependence import (
+    dependence_edges,
+    is_valid_order,
+    may_alias,
+)
+from repro.reorder.search import (
+    greedy_chain_order,
+    local_search_reorder,
+    reorder_accesses,
+    reorder_pattern,
+)
+from repro.workloads.random_patterns import (
+    RandomPatternConfig,
+    generate_batch,
+)
+
+
+def acc(array, coeff, offset, write=False):
+    return ArrayAccess(array, AffineExpr(coeff, offset), is_write=write)
+
+
+class TestMayAlias:
+    def test_different_arrays_never(self):
+        assert not may_alias(acc("A", 1, 0), acc("B", 1, 0))
+
+    def test_same_coefficient_same_offset(self):
+        assert may_alias(acc("A", 1, 3), acc("A", 1, 3))
+
+    def test_same_coefficient_different_offset(self):
+        # A[i+1] and A[i+2] are provably distinct within one iteration.
+        assert not may_alias(acc("A", 1, 1), acc("A", 1, 2))
+
+    def test_different_coefficient_divisible(self):
+        # A[2i] vs A[i]: equal at i = 0 -> may alias.
+        assert may_alias(acc("A", 2, 0), acc("A", 1, 0))
+
+    def test_different_coefficient_indivisible(self):
+        # A[2i] vs A[4i+1]: 2i = 4i+1 has no integer solution.
+        assert not may_alias(acc("A", 2, 0), acc("A", 4, 1))
+
+
+class TestDependenceEdges:
+    def test_reads_never_constrain(self):
+        pattern = AccessPattern((acc("A", 1, 0), acc("A", 1, 0)))
+        assert dependence_edges(pattern) == frozenset()
+
+    def test_write_read_same_element(self):
+        pattern = AccessPattern((acc("A", 1, 0, write=True),
+                                 acc("A", 1, 0)))
+        assert dependence_edges(pattern) == {(0, 1)}
+
+    def test_write_read_distinct_elements_free(self):
+        pattern = AccessPattern((acc("A", 1, 0, write=True),
+                                 acc("A", 1, 1)))
+        assert dependence_edges(pattern) == frozenset()
+
+    def test_is_valid_order(self):
+        edges = frozenset({(0, 2)})
+        assert is_valid_order((0, 1, 2), edges)
+        assert is_valid_order((1, 0, 2), edges)
+        assert not is_valid_order((2, 0, 1), edges)
+
+
+class TestReorderPattern:
+    def test_permutes_accesses(self, paper_pattern):
+        permuted = reorder_pattern(paper_pattern, (6, 5, 4, 3, 2, 1, 0))
+        assert permuted.offsets() == tuple(
+            reversed(paper_pattern.offsets()))
+        assert permuted.step == paper_pattern.step
+
+    def test_rejects_non_permutation(self, paper_pattern):
+        with pytest.raises(AllocationError):
+            reorder_pattern(paper_pattern, (0, 0, 1, 2, 3, 4, 5))
+
+
+class TestGreedyChainOrder:
+    def test_is_dependence_respecting_permutation(self):
+        builder = LoopBuilder()
+        builder.read("x", 5).write("y", 0).read("x", 0).read("y", 0)
+        pattern = builder.build_pattern()
+        order = greedy_chain_order(pattern, 1)
+        assert sorted(order) == list(range(4))
+        assert is_valid_order(order, dependence_edges(pattern))
+
+    def test_groups_nearby_offsets(self):
+        # 0, 5, 1, 6, 2, 7 without dependences: the greedy chains the
+        # two arithmetic runs.
+        pattern = pattern_from_offsets([0, 5, 1, 6, 2, 7])
+        order = greedy_chain_order(pattern, 1)
+        offsets = [pattern[position].offset for position in order]
+        assert offsets == [0, 1, 2, 5, 6, 7] or \
+            offsets == [0, 1, 2, 7, 6, 5]
+
+
+class TestLocalSearch:
+    def test_never_worse_than_start(self, rng):
+        spec = AguSpec(2, 1)
+        for trial in range(10):
+            offsets = [rng.randint(-5, 5) for _ in range(9)]
+            pattern = pattern_from_offsets(offsets)
+            result = local_search_reorder(pattern, spec)
+            assert result.cost <= result.baseline_cost
+
+    def test_respects_dependences(self):
+        builder = LoopBuilder()
+        builder.write("x", 0).read("x", 0).write("x", 0).read("x", 0)
+        pattern = builder.build_pattern()
+        result = local_search_reorder(pattern, AguSpec(1, 1))
+        assert result.order == (0, 1, 2, 3)  # fully serialized
+
+    def test_invalid_start_order_rejected(self, paper_pattern):
+        with pytest.raises(AllocationError):
+            local_search_reorder(paper_pattern, AguSpec(2, 1),
+                                 start_order=(0, 1))
+
+
+class TestReorderAccesses:
+    def test_improves_zigzag(self):
+        # With K=1 and M=1 the interleaved runs are expensive in program
+        # order but free once chained.
+        pattern = pattern_from_offsets([0, 5, 1, 6, 2, 7])
+        result = reorder_accesses(pattern, AguSpec(1, 1))
+        assert result.cost < result.baseline_cost
+
+    def test_never_worse_and_valid_on_random(self, rng):
+        spec = AguSpec(2, 1)
+        patterns = generate_batch(
+            RandomPatternConfig(10, offset_span=6, write_fraction=0.3),
+            10, seed=31)
+        for pattern in patterns:
+            result = reorder_accesses(pattern, spec)
+            assert result.cost <= result.baseline_cost
+            assert is_valid_order(result.order,
+                                  dependence_edges(pattern))
+            assert sorted(result.order) == list(range(len(pattern)))
+
+    def test_already_free_pattern_untouched(self):
+        pattern = pattern_from_offsets([0, 1, 2])
+        result = reorder_accesses(pattern, AguSpec(1, 1))
+        assert result.baseline_cost == 0
+        assert result.cost == 0
+        assert not result.is_reordered
+
+    def test_reordered_pattern_allocates_to_reported_cost(self):
+        from repro.core.allocator import AddressRegisterAllocator
+        pattern = pattern_from_offsets([0, 5, 1, 6, 2, 7])
+        spec = AguSpec(1, 1)
+        result = reorder_accesses(pattern, spec)
+        check = AddressRegisterAllocator(spec).allocate(result.pattern)
+        assert check.total_cost == result.cost

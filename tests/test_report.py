@@ -1,0 +1,53 @@
+"""Tests of the one-shot Markdown report generator."""
+
+import pytest
+
+from repro.analysis.report import (
+    ReportConfig,
+    generate_report,
+    save_report_markdown,
+)
+
+
+@pytest.fixture(scope="module")
+def quick_report() -> str:
+    # Only the cheap sections, with the scaled-down statistical grid.
+    config = ReportConfig(quick=True, include=("s1", "k1", "x2"))
+    return generate_report(config)
+
+
+class TestGenerateReport:
+    def test_title_and_sections(self, quick_report):
+        assert quick_report.startswith("# Reproduction report")
+        assert "## EXP-S1" in quick_report
+        assert "## EXP-K1" in quick_report
+        assert "## EXP-X2" in quick_report
+
+    def test_excluded_sections_absent(self, quick_report):
+        assert "EXP-A1" not in quick_report
+        assert "EXP-O1" not in quick_report
+
+    def test_tables_render_in_code_blocks(self, quick_report):
+        assert "```" in quick_report
+        assert "cost(best-pair)" in quick_report
+
+    def test_measured_numbers_present(self, quick_report):
+        assert "average reduction" in quick_report
+        assert "%" in quick_report
+
+
+class TestSaveReport:
+    def test_writes_file(self, tmp_path):
+        target = save_report_markdown(
+            tmp_path / "out" / "REPORT.md",
+            ReportConfig(quick=True, include=("s1",)))
+        assert target.exists()
+        assert target.read_text().startswith("# Reproduction report")
+
+    def test_cli_report(self, tmp_path, capsys):
+        from repro.cli.main import main
+        target = tmp_path / "r.md"
+        assert main(["report", "-o", str(target), "--quick",
+                     "--only", "s1,k1"]) == 0
+        assert target.exists()
+        assert "report written" in capsys.readouterr().out

@@ -1,0 +1,77 @@
+"""Exhaustive small-world sweep: every invariant on every tiny instance.
+
+Enumerates *all* single-array patterns of length up to 4 with offsets in
+[-2, 2] (775 instances) and checks the full invariant stack on each:
+bound bracket, zero-cost cover validity, merge-to-K costs vs the
+exhaustive optimum, and the codegen/simulator audit.  Slow-ish (a few
+seconds) but complete: any systematic defect in the core algorithms on
+small instances cannot hide.
+"""
+
+import itertools
+
+import pytest
+
+from repro.agu.codegen import generate_address_code
+from repro.agu.model import AguSpec
+from repro.agu.simulator import simulate
+from repro.graph.access_graph import AccessGraph
+from repro.ir.builder import pattern_from_offsets
+from repro.ir.layout import MemoryLayout
+from repro.ir.types import ArrayDecl, Loop
+from repro.merging.exhaustive import optimal_allocation
+from repro.merging.greedy import best_pair_merge
+from repro.pathcover.branch_and_bound import minimum_zero_cost_cover
+from repro.pathcover.heuristic import greedy_zero_cost_cover
+from repro.pathcover.lower_bound import intra_cover_lower_bound
+from repro.pathcover.verify import is_zero_cost_path
+
+SPAN = (-2, -1, 0, 1, 2)
+
+
+def all_patterns(max_length: int = 4):
+    for length in range(1, max_length + 1):
+        for offsets in itertools.product(SPAN, repeat=length):
+            yield offsets
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return MemoryLayout.contiguous([ArrayDecl("A", length=32)], origin=8)
+
+
+def test_exhaustive_bound_bracket_and_cover_validity():
+    for offsets in all_patterns():
+        pattern = pattern_from_offsets(list(offsets))
+        graph = AccessGraph(pattern, 1)
+        lower = intra_cover_lower_bound(graph)
+        greedy = greedy_zero_cost_cover(graph)
+        exact = minimum_zero_cost_cover(pattern, 1)
+        assert lower <= exact.k_tilde <= greedy.n_paths, offsets
+        assert exact.optimal, offsets
+        for path in exact.cover:
+            assert is_zero_cost_path(path, pattern, 1), offsets
+
+
+def test_exhaustive_merging_vs_optimum_k2():
+    for offsets in all_patterns():
+        pattern = pattern_from_offsets(list(offsets))
+        exact = minimum_zero_cost_cover(pattern, 1)
+        merged = best_pair_merge(exact.cover, 2, pattern, 1)
+        optimum = optimal_allocation(pattern, 2, 1)
+        assert merged.total_cost >= optimum.total_cost, offsets
+        # On instances this small the heuristic must stay within one
+        # unit-cost computation of the optimum.
+        assert merged.total_cost - optimum.total_cost <= 1, offsets
+
+
+def test_exhaustive_codegen_simulator_audit(layout):
+    for offsets in all_patterns(max_length=3):
+        pattern = pattern_from_offsets(list(offsets))
+        exact = minimum_zero_cost_cover(pattern, 1)
+        merged = best_pair_merge(exact.cover, 1, pattern, 1)
+        spec = AguSpec(1, 1)
+        program = generate_address_code(pattern, merged.cover, spec)
+        loop = Loop(pattern, start=0, n_iterations=3)
+        result = simulate(program, loop, layout)
+        assert result.overhead_per_iteration == merged.total_cost, offsets

@@ -1,0 +1,96 @@
+"""Unit tests for the plain-text trace format."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.ir.builder import LoopBuilder, pattern_from_offsets
+from repro.workloads.trace import (
+    format_trace,
+    load_trace,
+    parse_trace,
+    save_trace,
+)
+
+
+class TestParsing:
+    def test_basic(self):
+        pattern = parse_trace("""
+        # the paper example, abbreviated
+        step 1
+        A +1
+        A 0
+        A -2 w
+        """)
+        assert pattern.offsets() == (1, 0, -2)
+        assert pattern.step == 1
+        assert pattern[2].is_write
+
+    def test_default_step(self):
+        assert parse_trace("A 0").step == 1
+
+    def test_coefficient(self):
+        pattern = parse_trace("x 3 coeff=2")
+        assert pattern[0].coefficient == 2
+        assert pattern[0].offset == 3
+
+    def test_token_order_free(self):
+        pattern = parse_trace("x 1 w coeff=2\nx 2 coeff=2 w")
+        assert all(access.is_write for access in pattern)
+        assert all(access.coefficient == 2 for access in pattern)
+
+    def test_comments_and_blank_lines(self):
+        pattern = parse_trace("\n# header\nA 1  # trailing\n\nB -1\n")
+        assert len(pattern) == 2
+
+    def test_empty_trace(self):
+        assert len(parse_trace("# nothing\n")) == 0
+
+    @pytest.mark.parametrize("text, fragment", [
+        ("step", "step <int>"),
+        ("step x", "integer"),
+        ("step 0", "non-zero"),
+        ("A", "expected"),
+        ("A one", "integer"),
+        ("9bad 0", "array name"),
+        ("A 0 flags", "unknown token"),
+        ("A 0\nstep 2", "precede"),
+    ])
+    def test_malformed(self, text, fragment):
+        with pytest.raises(WorkloadError, match=fragment):
+            parse_trace(text)
+
+
+class TestRoundTrip:
+    def test_simple_round_trip(self, paper_pattern):
+        assert parse_trace(format_trace(paper_pattern)) == paper_pattern
+
+    def test_rich_round_trip(self):
+        pattern = (LoopBuilder(step=2)
+                   .read("x", 3, coefficient=2)
+                   .write("y", -1)
+                   .read("h", 4, coefficient=0)
+                   .build_pattern())
+        assert parse_trace(format_trace(pattern)) == pattern
+
+    def test_file_round_trip(self, tmp_path):
+        pattern = pattern_from_offsets([1, -2, 0])
+        target = save_trace(pattern, tmp_path / "sub" / "trace.txt")
+        assert load_trace(target) == pattern
+
+
+class TestCliTrace:
+    def test_trace_subcommand(self, tmp_path, capsys):
+        from repro.cli.main import main
+        trace = tmp_path / "t.txt"
+        trace.write_text("A +1\nA 0\nA +2\nA -1\nA +1\nA 0\nA -2\n")
+        assert main(["trace", str(trace), "-k", "2", "--listing"]) == 0
+        out = capsys.readouterr().out
+        assert "unit-cost/iter:  2" in out
+        assert "USE" in out
+
+    def test_trace_error_path(self, tmp_path, capsys):
+        from repro.cli.main import main
+        trace = tmp_path / "bad.txt"
+        trace.write_text("A\n")
+        assert main(["trace", str(trace)]) == 1
+        assert "error:" in capsys.readouterr().err

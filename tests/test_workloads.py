@@ -1,0 +1,117 @@
+"""Unit tests for workloads: random patterns and the kernel library."""
+
+import pytest
+
+from repro.agu.model import AguSpec
+from repro.core.pipeline import compile_kernel
+from repro.errors import WorkloadError
+from repro.workloads.kernels import KERNELS, get_kernel
+from repro.workloads.random_patterns import (
+    DISTRIBUTIONS,
+    RandomPatternConfig,
+    generate_batch,
+    generate_pattern,
+)
+from repro.workloads.suite import SUITES, suite_kernels
+
+
+class TestRandomPatterns:
+    def test_deterministic_by_seed(self):
+        config = RandomPatternConfig(15)
+        assert generate_pattern(config, 5) == generate_pattern(config, 5)
+        assert generate_batch(config, 4, seed=1) == \
+            generate_batch(config, 4, seed=1)
+
+    def test_different_seeds_differ(self):
+        config = RandomPatternConfig(15)
+        assert generate_pattern(config, 1) != generate_pattern(config, 2)
+
+    @pytest.mark.parametrize("distribution", sorted(DISTRIBUTIONS))
+    def test_all_distributions_produce_valid_patterns(self, distribution):
+        config = RandomPatternConfig(20, offset_span=5,
+                                     distribution=distribution)
+        pattern = generate_pattern(config, 3)
+        assert len(pattern) == 20
+        assert all(-5 <= access.offset <= 5 for access in pattern)
+
+    def test_sweep_is_sorted(self):
+        config = RandomPatternConfig(12, distribution="sweep")
+        offsets = generate_pattern(config, 0).offsets()
+        assert list(offsets) == sorted(offsets)
+
+    def test_multi_array(self):
+        config = RandomPatternConfig(40, n_arrays=3)
+        pattern = generate_pattern(config, 0)
+        assert 1 < len(pattern.arrays()) <= 3
+
+    def test_write_fraction(self):
+        config = RandomPatternConfig(200, write_fraction=1.0)
+        pattern = generate_pattern(config, 0)
+        assert all(access.is_write for access in pattern)
+
+    def test_step_carried(self):
+        config = RandomPatternConfig(5, step=2)
+        assert generate_pattern(config, 0).step == 2
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(n_accesses=-1),
+        dict(n_accesses=5, offset_span=-1),
+        dict(n_accesses=5, distribution="normal"),
+        dict(n_accesses=5, n_arrays=0),
+        dict(n_accesses=5, write_fraction=2.0),
+        dict(n_accesses=5, step=0),
+        dict(n_accesses=5, cluster_spread=-1),
+    ])
+    def test_invalid_configs(self, kwargs):
+        with pytest.raises(WorkloadError):
+            RandomPatternConfig(**kwargs)
+
+    def test_negative_batch_rejected(self):
+        with pytest.raises(WorkloadError):
+            generate_batch(RandomPatternConfig(3), -1)
+
+
+class TestKernelLibrary:
+    def test_library_size(self):
+        assert len(KERNELS) >= 16
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_every_kernel_parses(self, name):
+        kernel = KERNELS[name].kernel()
+        assert len(kernel.pattern) >= 1
+        assert kernel.loop.n_iterations is not None
+
+    @pytest.mark.parametrize("name", sorted(KERNELS))
+    def test_every_kernel_compiles_and_simulates(self, name):
+        kernel = KERNELS[name].kernel()
+        artifacts = compile_kernel(kernel, AguSpec(8, 1), n_iterations=8)
+        sim = artifacts.simulation
+        assert sim is not None
+        assert sim.n_accesses_verified == 8 * len(kernel.pattern)
+        assert sim.overhead_per_iteration == \
+            artifacts.allocation.total_cost
+
+    def test_paper_example_kernel_matches_fixture(self, paper_pattern):
+        kernel = get_kernel("paper_example").kernel()
+        assert kernel.pattern.offsets() == paper_pattern.offsets()
+
+    def test_get_kernel_unknown(self):
+        with pytest.raises(WorkloadError, match="unknown kernel"):
+            get_kernel("fft_9000")
+
+    def test_n_accesses_property(self):
+        assert get_kernel("paper_example").n_accesses == 7
+
+
+class TestSuites:
+    def test_full_suite_covers_everything(self):
+        assert set(SUITES["full"]) == set(KERNELS)
+
+    def test_suite_kernels_resolved(self):
+        kernels = suite_kernels("core8")
+        assert len(kernels) == 8
+        assert all(k.name in KERNELS for k in kernels)
+
+    def test_unknown_suite(self):
+        with pytest.raises(WorkloadError, match="unknown suite"):
+            suite_kernels("gigantic")
