@@ -3,10 +3,17 @@
 Micro-benchmarks over the building blocks so performance regressions in
 the solvers show up directly: graph construction, matching, the exact
 branch-and-bound, the greedy cover, best-pair merging, codegen, the
-simulator, and SOA.
+simulator, and SOA -- plus the batch engine's suite throughput (cold,
+cached, and parallel).
 """
 
 import pytest
+
+from _bench_util import run_once
+
+from repro.batch.cache import InMemoryLRUCache
+from repro.batch.engine import BatchCompiler
+from repro.batch.jobs import jobs_from_suite
 
 from repro.agu.codegen import generate_address_code
 from repro.agu.model import AguSpec
@@ -107,3 +114,35 @@ def bench_soa_tiebreak(benchmark, length):
     sequence = random_sequence(12, length, seed=7, locality=0.4)
     layout = benchmark(tiebreak_soa, sequence)
     assert sorted(layout) == sorted(sequence.variables())
+
+
+def bench_batch_suite_cold(benchmark):
+    """Suite throughput with an empty cache: every job compiles."""
+    jobs = jobs_from_suite("core8", AguSpec(4, 1), n_iterations=4)
+
+    def run_cold():
+        return BatchCompiler(cache=InMemoryLRUCache()).compile(jobs)
+
+    report = benchmark(run_cold)
+    assert report.n_compiled == report.n_jobs and report.all_audits_ok
+
+
+def bench_batch_suite_cached(benchmark):
+    """Suite throughput on a warm cache: zero recompilations."""
+    compiler = BatchCompiler()
+    jobs = jobs_from_suite("core8", AguSpec(4, 1), n_iterations=4)
+    compiler.compile(jobs)
+
+    report = benchmark(compiler.compile, jobs)
+    assert report.n_cache_hits == report.n_jobs
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def bench_batch_full_suite_parallel(benchmark, workers):
+    """Whole-library throughput vs process-pool width (cold cache)."""
+    jobs = jobs_from_suite("full", AguSpec(4, 1), n_iterations=4)
+    report = run_once(
+        benchmark,
+        lambda: BatchCompiler(cache=InMemoryLRUCache(),
+                              n_workers=workers).compile(jobs))
+    assert report.n_jobs == len(jobs) and report.all_audits_ok

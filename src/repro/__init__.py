@@ -30,6 +30,19 @@ from repro.agu import (
     program_listing,
     simulate,
 )
+from repro.batch import (
+    BatchCompiler,
+    BatchJob,
+    BatchReport,
+    InMemoryLRUCache,
+    JobResult,
+    JsonFileCache,
+    job_digest,
+    job_matrix,
+    jobs_from_kernels,
+    jobs_from_random,
+    jobs_from_suite,
+)
 from repro.core import (
     AddressRegisterAllocator,
     AllocationResult,
@@ -68,9 +81,14 @@ from repro.pathcover import (
     minimum_zero_cost_cover,
 )
 from repro.reorder import reorder_accesses
-from repro.workloads import load_trace, parse_trace, save_trace
+from repro.workloads import (
+    RandomPatternConfig,
+    load_trace,
+    parse_trace,
+    save_trace,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AccessGraph",
@@ -83,8 +101,14 @@ __all__ = [
     "AllocatorConfig",
     "ArrayAccess",
     "ArrayDecl",
+    "BatchCompiler",
+    "BatchJob",
+    "BatchReport",
     "CompilationArtifacts",
     "CostModel",
+    "InMemoryLRUCache",
+    "JobResult",
+    "JsonFileCache",
     "Kernel",
     "Loop",
     "LoopBuilder",
@@ -92,6 +116,7 @@ __all__ = [
     "PRESETS",
     "Path",
     "PathCover",
+    "RandomPatternConfig",
     "SimulationResult",
     "allocate_with_modify_registers",
     "best_pair_merge",
@@ -102,6 +127,11 @@ __all__ = [
     "graph_to_dot",
     "greedy_zero_cost_cover",
     "intra_cover_lower_bound",
+    "job_digest",
+    "job_matrix",
+    "jobs_from_kernels",
+    "jobs_from_random",
+    "jobs_from_suite",
     "load_trace",
     "loop_from_offsets",
     "minimum_zero_cost_cover",

@@ -27,7 +27,6 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass
 
-from repro.agu.codegen import generate_address_code, generate_unoptimized_code
 from repro.agu.model import AguSpec
 from repro.analysis.stats import mean, percent_reduction
 from repro.core.allocator import AddressRegisterAllocator
@@ -41,7 +40,7 @@ from repro.merging.naive import naive_merge
 from repro.pathcover.branch_and_bound import minimum_zero_cost_cover
 from repro.pathcover.heuristic import greedy_zero_cost_cover
 from repro.pathcover.lower_bound import intra_cover_lower_bound
-from repro.workloads.kernels import KERNELS, DspKernel
+from repro.workloads.kernels import KERNELS
 from repro.workloads.random_patterns import (
     RandomPatternConfig,
     generate_batch,
@@ -225,6 +224,8 @@ class KernelComparisonConfig:
     cost_model: CostModel = CostModel.STEADY_STATE
     #: Iterations for the simulator audit of both programs.
     simulate_iterations: int = 32
+    #: Process-pool width of the underlying batch engine (1 = inline).
+    n_workers: int = 1
 
 
 @dataclass(frozen=True)
@@ -260,50 +261,42 @@ def run_kernel_comparison(
 ) -> KernelComparisonSummary:
     """EXP-K1: addressing overhead on realistic kernels, audited.
 
-    Both the optimized and the baseline address programs are run on the
-    AGU simulator, so every number in the table is backed by a verified
-    address stream, not just the static model.
+    The suite runs through the batch engine
+    (:class:`~repro.batch.engine.BatchCompiler`), one job per kernel
+    with baseline measurement enabled.  Both the optimized and the
+    baseline address programs are run on the AGU simulator, so every
+    number in the table is backed by a verified address stream, not
+    just the static model.
     """
-    from repro.agu.simulator import simulate  # local: avoid cycle at import
-    from repro.ir.layout import MemoryLayout
+    from repro.batch.engine import BatchCompiler
+    from repro.batch.jobs import jobs_from_kernels
 
     if config is None:
         config = KernelComparisonConfig()
     names = config.kernel_names or tuple(sorted(KERNELS))
     started = time.perf_counter()
 
+    jobs = jobs_from_kernels(
+        names, config.spec, AllocatorConfig(cost_model=config.cost_model),
+        n_iterations=config.simulate_iterations, include_baseline=True)
+    report = BatchCompiler(n_workers=config.n_workers).compile(jobs)
+
     rows: list[KernelComparisonRow] = []
-    for name in names:
-        entry: DspKernel = KERNELS[name]
-        kernel = entry.kernel()
-        pattern = kernel.pattern
-        n = len(pattern)
-
-        allocator = AddressRegisterAllocator(config.spec, AllocatorConfig(
-            cost_model=config.cost_model))
-        allocation = allocator.allocate(kernel)
-        optimized = generate_address_code(pattern, allocation.cover,
-                                          config.spec)
-        baseline = generate_unoptimized_code(pattern, config.spec)
-
-        layout = MemoryLayout.for_kernel(
-            kernel, gap=config.spec.modify_range + 1)
-        iterations = min(config.simulate_iterations,
-                         kernel.loop.n_iterations or
-                         config.simulate_iterations)
-        sim_opt = simulate(optimized, kernel.loop, layout,
-                           n_iterations=iterations)
-        sim_base = simulate(baseline, kernel.loop, layout,
-                            n_iterations=iterations)
-
-        base_overhead = sim_base.overhead_per_iteration
-        opt_overhead = sim_opt.overhead_per_iteration
+    for result in report.results:
+        if not result.audit_ok:  # pragma: no cover - simulate() raises
+            raise ExperimentError(
+                f"kernel {result.name!r}: dynamic cost disagrees with "
+                f"the model")
+        n = result.n_accesses
+        base_overhead = result.baseline_overhead
+        assert base_overhead is not None
+        opt_overhead = result.overhead_per_iteration
         # One data instruction per access carries the Use operand.
         base_total = n + base_overhead
         opt_total = n + opt_overhead
         rows.append(KernelComparisonRow(
-            kernel=name, n_accesses=n, k_tilde=allocation.k_tilde,
-            registers_used=allocation.n_registers_used,
+            kernel=result.name, n_accesses=n, k_tilde=result.k_tilde,
+            registers_used=result.n_registers_used,
             baseline_overhead=base_overhead,
             optimized_overhead=opt_overhead,
             overhead_reduction_pct=percent_reduction(base_overhead,

@@ -1,0 +1,47 @@
+"""Batch compilation: suites in, cached per-kernel summaries out.
+
+The scaling layer on top of :func:`repro.core.pipeline.compile_kernel`:
+
+* :mod:`repro.batch.jobs` -- picklable :class:`BatchJob` units and the
+  factories that mass-produce them (suites, kernel lists, random
+  families, spec/config matrices);
+* :mod:`repro.batch.digest` -- stable content digests that key the
+  result cache;
+* :mod:`repro.batch.cache` -- in-memory LRU and on-disk JSON stores;
+* :mod:`repro.batch.engine` -- :class:`BatchCompiler` (process-pool
+  fan-out, cache orchestration) and the aggregated
+  :class:`BatchReport`.
+"""
+
+from repro.batch.cache import CacheStats, InMemoryLRUCache, JsonFileCache
+from repro.batch.digest import DIGEST_VERSION, job_digest
+from repro.batch.engine import (
+    BatchCompiler,
+    BatchReport,
+    JobResult,
+    execute_job,
+)
+from repro.batch.jobs import (
+    BatchJob,
+    job_matrix,
+    jobs_from_kernels,
+    jobs_from_random,
+    jobs_from_suite,
+)
+
+__all__ = [
+    "BatchCompiler",
+    "BatchJob",
+    "BatchReport",
+    "CacheStats",
+    "DIGEST_VERSION",
+    "InMemoryLRUCache",
+    "JobResult",
+    "JsonFileCache",
+    "execute_job",
+    "job_digest",
+    "job_matrix",
+    "jobs_from_kernels",
+    "jobs_from_random",
+    "jobs_from_suite",
+]

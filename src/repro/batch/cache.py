@@ -1,0 +1,151 @@
+"""Result caches for the batch compilation engine.
+
+Two stores share one tiny mapping-style protocol (``get``/``put`` plus
+hit/miss statistics):
+
+* :class:`InMemoryLRUCache` -- bounded, process-local; the default of
+  :class:`~repro.batch.engine.BatchCompiler`, good for repeated runs
+  inside one experiment process.
+* :class:`JsonFileCache` -- an on-disk JSON store, so benchmark and
+  experiment re-runs across process restarts skip recompilation.
+  Writes are atomic (temp file + rename) and a corrupt or missing
+  store degrades to empty instead of failing the batch.
+
+A store may additionally offer ``put_many(entries)`` to persist a
+whole batch in one write; the engine prefers it when present, so a
+large batch costs one file rewrite instead of one per job.
+
+Payloads are plain JSON-able dicts (the lowered
+:class:`~repro.batch.engine.JobResult`); keys are the content digests
+of :mod:`repro.batch.digest`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.errors import BatchError
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters, reset with the cache's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Hits per lookup (0.0 when the cache was never consulted)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def __str__(self) -> str:
+        return (f"{self.hits} hit(s), {self.misses} miss(es), "
+                f"{self.stores} store(s)")
+
+
+@dataclass
+class InMemoryLRUCache:
+    """A bounded in-memory result cache with LRU eviction."""
+
+    capacity: int = 1024
+    stats: CacheStats = field(default_factory=CacheStats)
+    _entries: OrderedDict = field(default_factory=OrderedDict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise BatchError(
+                f"cache capacity must be >= 1, got {self.capacity}")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, digest: str) -> dict | None:
+        """The payload stored under ``digest``, or ``None`` on a miss."""
+        try:
+            payload = self._entries[digest]
+        except KeyError:
+            self.stats.misses += 1
+            return None
+        self._entries.move_to_end(digest)
+        self.stats.hits += 1
+        return payload
+
+    def put(self, digest: str, payload: dict) -> None:
+        """Store ``payload``; evicts the least recently used entry."""
+        self._entries[digest] = payload
+        self._entries.move_to_end(digest)
+        self.stats.stores += 1
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+
+class JsonFileCache:
+    """A persistent result cache backed by one JSON file.
+
+    The whole store is loaded on construction and rewritten atomically
+    on every :meth:`put`, which is plenty for suite-sized batches (tens
+    of entries) and keeps concurrent readers consistent.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.stats = CacheStats()
+        self._entries: dict[str, dict] = self._load()
+
+    def _load(self) -> dict[str, dict]:
+        try:
+            raw = json.loads(self.path.read_text())
+        except (OSError, ValueError):
+            return {}
+        if not isinstance(raw, dict) or not all(
+                isinstance(value, dict) for value in raw.values()):
+            return {}
+        return raw
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, digest: str) -> dict | None:
+        payload = self._entries.get(digest)
+        if payload is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, digest: str, payload: dict) -> None:
+        self._entries[digest] = payload
+        self.stats.stores += 1
+        self._flush()
+
+    def put_many(self, entries: dict[str, dict]) -> None:
+        """Store a whole batch with a single atomic file rewrite."""
+        if not entries:
+            return
+        self._entries.update(entries)
+        self.stats.stores += len(entries)
+        self._flush()
+
+    def _flush(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=self.path.parent, prefix=self.path.name + ".",
+            suffix=".tmp", delete=False)
+        try:
+            with handle:
+                json.dump(self._entries, handle, sort_keys=True)
+            os.replace(handle.name, self.path)
+        except BaseException:
+            os.unlink(handle.name)
+            raise

@@ -1,0 +1,77 @@
+"""Stable content digests for batch compilation jobs.
+
+The result cache is *content-addressed*: a job's cache key is a SHA-256
+digest of everything that determines its compilation outcome -- the
+kernel (source text or lowered access pattern), the target
+:class:`~repro.agu.model.AguSpec`, the
+:class:`~repro.core.config.AllocatorConfig`, and the execution options
+(simulation on/off, iteration count, baseline generation).  The job's
+display *name* is deliberately excluded, so the same kernel compiled
+under two labels shares one cache entry.
+
+Digests must be byte-stable across process restarts and machines, so
+the payload is lowered to canonical JSON (sorted keys, fixed
+separators) by hand -- no reliance on ``hash()``, ``repr()`` or dict
+ordering.  Bump :data:`DIGEST_VERSION` whenever the payload layout (or
+the meaning of any compiled artifact) changes; old cache entries then
+miss instead of serving stale results.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from enum import Enum
+from typing import Any
+
+#: Version tag mixed into every digest; bump to invalidate all caches.
+DIGEST_VERSION = 1
+
+
+def canonical(value: Any) -> Any:
+    """Lower a value to JSON-able types, deterministically.
+
+    Handles the frozen dataclasses the job is built from (specs,
+    configs, IR nodes), enums (by value), and the usual containers.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {field.name: canonical(getattr(value, field.name))
+                for field in dataclasses.fields(value) if field.init}
+    if isinstance(value, Enum):
+        return value.value
+    if isinstance(value, dict):
+        return {str(key): canonical(item)
+                for key, item in sorted(value.items())}
+    if isinstance(value, (set, frozenset)):
+        # Sets iterate in hash order, which varies across interpreter
+        # runs; sort by canonical JSON encoding to stay byte-stable.
+        return sorted((canonical(item) for item in value),
+                      key=lambda item: json.dumps(item, sort_keys=True))
+    if isinstance(value, (list, tuple)):
+        return [canonical(item) for item in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+def digest_payload(payload: Any) -> str:
+    """SHA-256 hex digest of a payload's canonical JSON form."""
+    text = json.dumps(canonical(payload), sort_keys=True,
+                      separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def job_digest(job) -> str:
+    """The content-addressed cache key of a :class:`~repro.batch.jobs.BatchJob`."""
+    return digest_payload({
+        "v": DIGEST_VERSION,
+        "kernel": job.source if job.source is not None else job.pattern,
+        "spec": job.spec,
+        "config": job.config,
+        "options": {
+            "run_simulation": job.run_simulation,
+            "n_iterations": job.n_iterations,
+            "include_baseline": job.include_baseline,
+        },
+    })

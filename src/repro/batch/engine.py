@@ -1,0 +1,300 @@
+"""The batch compilation engine: fan-out, caching, aggregation.
+
+:class:`BatchCompiler` takes a list of :class:`~repro.batch.jobs.BatchJob`
+and produces a :class:`BatchReport`.  Per job it either
+
+* serves the per-kernel summary (:class:`JobResult`) straight from the
+  result cache -- keyed by the content digest of
+  :mod:`repro.batch.digest`, so *what* is compiled, not what it is
+  called, decides -- or
+* compiles through :func:`repro.core.pipeline.compile_kernel`, on the
+  calling process (``n_workers=1``) or a ``concurrent.futures`` process
+  pool, and stores the summary back into the cache.
+
+Identical jobs inside one batch (same digest) are compiled once and
+fanned back out to every slot, so a sweep that repeats a configuration
+pays for it a single time.
+
+The engine aggregates summaries, not full artifacts: a
+:class:`JobResult` is a small picklable/JSON-able record, which is what
+makes both the process pool and the on-disk cache cheap.  Callers that
+need listings or simulation traces compile those kernels individually.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.agu.codegen import generate_unoptimized_code
+from repro.agu.model import AguSpec
+from repro.agu.simulator import simulate
+from repro.batch.cache import InMemoryLRUCache
+from repro.batch.digest import job_digest
+from repro.batch.jobs import BatchJob, jobs_from_suite
+from repro.core.config import AllocatorConfig
+from repro.core.pipeline import (
+    DEFAULT_SIMULATION_ITERATIONS,
+    compile_kernel,
+)
+from repro.errors import BatchError
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """Per-job summary the engine aggregates (picklable, JSON-able)."""
+
+    name: str
+    digest: str
+    n_accesses: int
+    n_registers: int
+    modify_range: int
+    k_tilde: int | None
+    n_registers_used: int
+    #: Unit-cost address computations per iteration (the model).
+    total_cost: int
+    #: Static per-iteration overhead of the generated program.
+    overhead_per_iteration: int
+    #: Overhead of the unoptimized baseline, when the job asked for it.
+    baseline_overhead: int | None
+    #: Whether the simulator ran (and, see ``audit_ok``, agreed).
+    simulated: bool
+    #: Dynamic (simulated) cost equals the modelled cost.  Trivially
+    #: true for unsimulated jobs; the simulator raises on mismatches,
+    #: so a False here never actually reaches a report.
+    audit_ok: bool
+    wall_seconds: float
+    from_cache: bool = False
+
+    def payload(self) -> dict:
+        """The JSON-able cache payload (cache-state flag excluded)."""
+        record = dataclasses.asdict(self)
+        del record["from_cache"]
+        return record
+
+    @classmethod
+    def from_payload(cls, payload: dict, name: str) -> "JobResult | None":
+        """Rebuild from a cache payload; ``None`` if it is malformed."""
+        try:
+            return cls(**{**payload, "name": name, "from_cache": True})
+        except TypeError:
+            return None
+
+
+def execute_job(job: BatchJob) -> JobResult:
+    """Compile one job on the calling process (the pool's map target)."""
+    started = time.perf_counter()
+    kernel = job.kernel()
+    iterations = job.n_iterations
+    if iterations is not None and kernel.loop.n_iterations is not None:
+        iterations = min(iterations, kernel.loop.n_iterations)
+    artifacts = compile_kernel(kernel, job.spec, job.config,
+                               run_simulation=job.run_simulation,
+                               n_iterations=iterations)
+    simulation = artifacts.simulation
+
+    baseline_overhead: int | None = None
+    if job.include_baseline:
+        baseline = generate_unoptimized_code(kernel.pattern, job.spec)
+        if job.run_simulation:
+            count = iterations
+            if count is None and kernel.loop.n_iterations is None:
+                count = DEFAULT_SIMULATION_ITERATIONS
+            baseline_overhead = simulate(
+                baseline, kernel.loop, artifacts.layout,
+                n_iterations=count).overhead_per_iteration
+        else:
+            baseline_overhead = baseline.overhead_per_iteration
+
+    allocation = artifacts.allocation
+    return JobResult(
+        name=job.name,
+        digest=job_digest(job),
+        n_accesses=len(kernel.pattern),
+        n_registers=job.spec.n_registers,
+        modify_range=job.spec.modify_range,
+        k_tilde=allocation.k_tilde,
+        n_registers_used=allocation.n_registers_used,
+        total_cost=allocation.total_cost,
+        overhead_per_iteration=artifacts.program.overhead_per_iteration,
+        baseline_overhead=baseline_overhead,
+        simulated=simulation is not None,
+        audit_ok=simulation is None
+        or simulation.overhead_per_iteration == allocation.total_cost,
+        wall_seconds=time.perf_counter() - started,
+    )
+
+
+@dataclass(frozen=True)
+class BatchReport:
+    """Aggregate outcome of one :meth:`BatchCompiler.compile` run."""
+
+    results: tuple[JobResult, ...]
+    n_workers: int
+    elapsed_seconds: float
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.results)
+
+    @property
+    def n_cache_hits(self) -> int:
+        return sum(result.from_cache for result in self.results)
+
+    @property
+    def n_compiled(self) -> int:
+        """Jobs that actually ran the pipeline (non-hits)."""
+        return self.n_jobs - self.n_cache_hits
+
+    @property
+    def total_cost(self) -> int:
+        return sum(result.total_cost for result in self.results)
+
+    @property
+    def total_accesses(self) -> int:
+        return sum(result.n_accesses for result in self.results)
+
+    @property
+    def mean_overhead_per_iteration(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(result.overhead_per_iteration
+                   for result in self.results) / self.n_jobs
+
+    @property
+    def all_audits_ok(self) -> bool:
+        return all(result.audit_ok for result in self.results)
+
+    @property
+    def jobs_per_second(self) -> float:
+        if self.elapsed_seconds <= 0.0:
+            return 0.0
+        return self.n_jobs / self.elapsed_seconds
+
+    def result(self, name: str) -> JobResult:
+        """The named job's summary."""
+        for entry in self.results:
+            if entry.name == name:
+                return entry
+        raise BatchError(f"no job named {name!r} in this report")
+
+    def render(self, title: str = "batch compilation") -> str:
+        """Fixed-width table of the per-job rows."""
+        from repro.analysis.tables import Column, Table
+
+        table = Table([
+            Column("kernel", "kernel", align="<"),
+            Column("N", "n"), Column("K", "k"), Column("M", "m"),
+            Column("K~", "k_tilde"), Column("used", "used"),
+            Column("cost/iter", "cost"),
+            Column("base/iter", "baseline"),
+            Column("sim", "sim", align="<"),
+            Column("cached", "cached", align="<"),
+            Column("ms", "ms", fmt=".1f"),
+        ], title=title)
+        for result in self.results:
+            table.add_row(
+                kernel=result.name, n=result.n_accesses,
+                k=result.n_registers, m=result.modify_range,
+                k_tilde=result.k_tilde, used=result.n_registers_used,
+                cost=result.total_cost,
+                baseline=result.baseline_overhead,
+                sim="ok" if result.simulated and result.audit_ok
+                else ("FAIL" if result.simulated else "-"),
+                cached="hit" if result.from_cache else "-",
+                ms=1000 * result.wall_seconds)
+        return table.render()
+
+    def summary(self) -> str:
+        """One-line account: volume, cache effectiveness, throughput."""
+        return (f"{self.n_jobs} job(s): {self.n_compiled} compiled, "
+                f"{self.n_cache_hits} cache hit(s); total cost/iter "
+                f"{self.total_cost}; {self.elapsed_seconds:.3f} s on "
+                f"{self.n_workers} worker(s) "
+                f"({self.jobs_per_second:.1f} jobs/s)")
+
+
+class BatchCompiler:
+    """Compile many kernels at once, with caching and parallelism.
+
+    Parameters
+    ----------
+    cache:
+        Any object with ``get(digest) -> dict | None`` and
+        ``put(digest, dict)`` (see :mod:`repro.batch.cache`).  Defaults
+        to a fresh :class:`InMemoryLRUCache`, so repeated calls on one
+        compiler already skip recompilation.  Pass a
+        :class:`~repro.batch.cache.JsonFileCache` to persist across
+        process restarts.
+    n_workers:
+        Process-pool width for cache misses; ``1`` compiles inline on
+        the calling process (deterministic ordering, no fork cost).
+    """
+
+    def __init__(self, *, cache=None, n_workers: int = 1):
+        if n_workers < 1:
+            raise BatchError(f"n_workers must be >= 1, got {n_workers}")
+        self.cache = cache if cache is not None else InMemoryLRUCache()
+        self.n_workers = n_workers
+
+    def compile(self, jobs: Iterable[BatchJob]) -> BatchReport:
+        """Run a batch; results come back in job order."""
+        jobs = list(jobs)
+        started = time.perf_counter()
+        slots: list[JobResult | None] = [None] * len(jobs)
+
+        # Digest-deduplicated work list: cache hits are served
+        # immediately, identical misses compile once.
+        pending: dict[str, list[int]] = {}
+        pending_jobs: dict[str, BatchJob] = {}
+        for index, job in enumerate(jobs):
+            digest = job_digest(job)
+            payload = self.cache.get(digest)
+            result = JobResult.from_payload(payload, job.name) \
+                if payload is not None else None
+            if result is not None:
+                slots[index] = result
+                continue
+            pending.setdefault(digest, []).append(index)
+            pending_jobs.setdefault(digest, job)
+
+        digests = list(pending)
+        compiled = self._run([pending_jobs[digest] for digest in digests])
+        store_batch = getattr(self.cache, "put_many", None)
+        if store_batch is not None:
+            store_batch({digest: result.payload()
+                         for digest, result in zip(digests, compiled)})
+        for digest, result in zip(digests, compiled):
+            if store_batch is None:
+                self.cache.put(digest, result.payload())
+            first, *duplicates = pending[digest]
+            slots[first] = result
+            for index in duplicates:
+                slots[index] = dataclasses.replace(
+                    result, name=jobs[index].name, from_cache=True)
+
+        assert all(slot is not None for slot in slots)
+        return BatchReport(
+            results=tuple(slots),  # type: ignore[arg-type]
+            n_workers=self.n_workers,
+            elapsed_seconds=time.perf_counter() - started)
+
+    def _run(self, jobs: Sequence[BatchJob]) -> list[JobResult]:
+        if self.n_workers == 1 or len(jobs) <= 1:
+            return [execute_job(job) for job in jobs]
+        workers = min(self.n_workers, len(jobs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(execute_job, jobs))
+
+    def compile_suite(self, suite: str, spec: AguSpec,
+                      config: AllocatorConfig | None = None, *,
+                      run_simulation: bool = True,
+                      n_iterations: int | None = None,
+                      include_baseline: bool = False) -> BatchReport:
+        """Compile a named kernel suite in one batch."""
+        return self.compile(jobs_from_suite(
+            suite, spec, config, run_simulation=run_simulation,
+            n_iterations=n_iterations, include_baseline=include_baseline))

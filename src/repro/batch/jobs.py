@@ -1,0 +1,157 @@
+"""Batch compilation jobs and the helpers that mass-produce them.
+
+A :class:`BatchJob` is one self-contained, picklable compilation unit:
+a kernel (frontend source text or a bare access pattern), the target
+AGU, the allocator configuration, and the execution options.  Being
+plain frozen dataclasses end to end, jobs travel across process
+boundaries unchanged, which is what lets the engine fan a suite out
+over a process pool.
+
+Factories cover the common batch shapes:
+
+* :func:`jobs_from_suite` / :func:`jobs_from_kernels` -- the bundled
+  DSP kernel library, by suite name or explicit kernel names;
+* :func:`jobs_from_random` -- seeded random-pattern families (the
+  statistical experiments' input);
+* :func:`job_matrix` -- the cross product of a job list with an
+  ``AguSpec`` x ``AllocatorConfig`` grid, for sweep-style batches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterable, Sequence
+
+from repro.agu.model import AguSpec
+from repro.core.config import AllocatorConfig
+from repro.errors import BatchError
+from repro.ir.parser import parse_kernel
+from repro.ir.types import AccessPattern, ArrayDecl, Kernel, Loop
+from repro.workloads.kernels import get_kernel
+from repro.workloads.random_patterns import (
+    RandomPatternConfig,
+    generate_batch,
+)
+from repro.workloads.suite import suite_kernels
+
+
+@dataclass(frozen=True)
+class BatchJob:
+    """One compilation unit of a batch.
+
+    Exactly one of ``source`` (frontend text) and ``pattern`` (a bare
+    :class:`~repro.ir.types.AccessPattern`) must be given.  ``name`` is
+    a display label only; it does not enter the cache key.
+    """
+
+    name: str
+    spec: AguSpec
+    config: AllocatorConfig | None = None
+    source: str | None = None
+    pattern: AccessPattern | None = None
+    run_simulation: bool = True
+    n_iterations: int | None = None
+    #: Also generate and (when simulating) audit the unoptimized
+    #: regular-C-compiler address code, for comparison experiments.
+    include_baseline: bool = False
+
+    def __post_init__(self) -> None:
+        if (self.source is None) == (self.pattern is None):
+            raise BatchError(
+                f"job {self.name!r}: exactly one of source/pattern "
+                f"must be given")
+        if self.n_iterations is not None and self.n_iterations < 1:
+            raise BatchError(
+                f"job {self.name!r}: n_iterations must be >= 1, got "
+                f"{self.n_iterations}")
+
+    def kernel(self) -> Kernel:
+        """The job's kernel: parsed from source, or wrapped pattern."""
+        if self.source is not None:
+            return parse_kernel(self.source, name=self.name)
+        pattern = self.pattern
+        assert pattern is not None
+        # Start the loop variable high enough that no access touches a
+        # negative array element, mirroring the kernel library's
+        # convention for simulatable loops.
+        start = max([0] + [-access.index.offset for access in pattern])
+        decls = tuple(ArrayDecl(array) for array in sorted(pattern.arrays()))
+        return Kernel(name=self.name, loop=Loop(pattern, start=start),
+                      arrays=decls)
+
+
+def jobs_from_kernels(names: Sequence[str], spec: AguSpec,
+                      config: AllocatorConfig | None = None, *,
+                      run_simulation: bool = True,
+                      n_iterations: int | None = None,
+                      include_baseline: bool = False) -> list[BatchJob]:
+    """Jobs over named kernels of the bundled DSP library."""
+    return [
+        BatchJob(name=name, spec=spec, config=config,
+                 source=get_kernel(name).source,
+                 run_simulation=run_simulation, n_iterations=n_iterations,
+                 include_baseline=include_baseline)
+        for name in names
+    ]
+
+
+def jobs_from_suite(suite: str, spec: AguSpec,
+                    config: AllocatorConfig | None = None, *,
+                    run_simulation: bool = True,
+                    n_iterations: int | None = None,
+                    include_baseline: bool = False) -> list[BatchJob]:
+    """Jobs over a named kernel suite (see :data:`repro.workloads.SUITES`)."""
+    return jobs_from_kernels(
+        [entry.name for entry in suite_kernels(suite)], spec, config,
+        run_simulation=run_simulation, n_iterations=n_iterations,
+        include_baseline=include_baseline)
+
+
+def jobs_from_random(pattern_config: RandomPatternConfig, count: int,
+                     spec: AguSpec,
+                     config: AllocatorConfig | None = None, *,
+                     seed: int = 0, run_simulation: bool = False,
+                     n_iterations: int | None = None,
+                     include_baseline: bool = False) -> list[BatchJob]:
+    """Jobs over a seeded random-pattern family.
+
+    Reproducible: the same ``(pattern_config, count, seed)`` yields the
+    same jobs (and therefore the same cache keys).  Simulation defaults
+    off because random batches are usually allocation-throughput work.
+    """
+    patterns = generate_batch(pattern_config, count, seed=seed)
+    stem = (f"{pattern_config.distribution}"
+            f"-n{pattern_config.n_accesses}-seed{seed}")
+    return [
+        BatchJob(name=f"{stem}-{index}", spec=spec, config=config,
+                 pattern=pattern, run_simulation=run_simulation,
+                 n_iterations=n_iterations,
+                 include_baseline=include_baseline)
+        for index, pattern in enumerate(patterns)
+    ]
+
+
+def job_matrix(jobs: Iterable[BatchJob], specs: Sequence[AguSpec],
+               configs: Sequence[AllocatorConfig | None] = (None,),
+               ) -> list[BatchJob]:
+    """Cross every job with every spec and allocator configuration.
+
+    Job names gain an ``@K<k>M<m>`` suffix (plus ``/c<i>`` when more
+    than one configuration is in play) so matrix rows stay tellable
+    apart in reports.
+    """
+    if not specs:
+        raise BatchError("job_matrix needs at least one spec")
+    if not configs:
+        raise BatchError("job_matrix needs at least one config")
+    matrix = []
+    for job in jobs:
+        for spec in specs:
+            for config_index, config in enumerate(configs):
+                name = (f"{job.name}@K{spec.n_registers}"
+                        f"M{spec.modify_range}")
+                if len(configs) > 1:
+                    name += f"/c{config_index}"
+                matrix.append(replace(job, name=name, spec=spec,
+                                      config=config))
+    return matrix

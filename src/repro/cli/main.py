@@ -12,6 +12,9 @@ kernels
     List or show the bundled DSP kernel library.
 experiment
     Run one of the paper's experiments and print its table(s).
+batch
+    Compile a whole kernel suite through the batch engine: process-pool
+    fan-out, content-addressed result caching, aggregate report.
 """
 
 from __future__ import annotations
@@ -51,6 +54,7 @@ from repro.graph.access_graph import AccessGraph
 from repro.graph.dot import graph_to_ascii, graph_to_dot
 from repro.ir.parser import parse_kernel
 from repro.workloads.kernels import KERNELS, get_kernel
+from repro.workloads.suite import SUITES
 
 
 def _read_source(path: str) -> str:
@@ -208,6 +212,34 @@ def _cmd_kernels(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.batch import BatchCompiler, JsonFileCache, jobs_from_kernels
+    from repro.batch.jobs import jobs_from_suite
+
+    spec = _spec_from_args(args)
+    if args.kernels:
+        names = [name.strip() for name in args.kernels.split(",")]
+        jobs = jobs_from_kernels(names, spec,
+                                 run_simulation=not args.no_sim,
+                                 n_iterations=args.iterations,
+                                 include_baseline=args.baseline)
+    else:
+        jobs = jobs_from_suite(args.suite, spec,
+                               run_simulation=not args.no_sim,
+                               n_iterations=args.iterations,
+                               include_baseline=args.baseline)
+    cache = JsonFileCache(args.cache) if args.cache else None
+    compiler = BatchCompiler(cache=cache, n_workers=args.workers)
+    report = compiler.compile(jobs)
+    title = f"batch: {args.kernels or args.suite} on {spec}"
+    print(report.render(title=title))
+    print(report.summary())
+    if args.json:
+        path = reports.save_report(report, args.json)
+        print(f"(report saved to {path})")
+    return 0 if report.all_audits_ok else 1
+
+
 _EXPERIMENTS = ("stats", "kernels", "pathcover", "costmodel", "merging",
                 "offset", "modreg", "reorder", "arraylayout")
 
@@ -329,6 +361,34 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("--json", default=None,
                                    help="also save the summary as JSON")
     experiment_parser.set_defaults(func=_cmd_experiment)
+
+    batch_parser = commands.add_parser(
+        "batch", help="compile a kernel suite through the batch engine")
+    batch_parser.add_argument("--suite", default="core8",
+                              help="kernel suite to compile (default "
+                                   "core8; available: "
+                                   f"{', '.join(sorted(SUITES))})")
+    batch_parser.add_argument("--kernels", default=None,
+                              help="comma-separated kernel names "
+                                   "(overrides --suite; see the "
+                                   "'kernels' subcommand)")
+    _add_spec_arguments(batch_parser)
+    batch_parser.add_argument("-j", "--workers", type=int, default=1,
+                              help="process-pool width (default 1: "
+                                   "compile inline)")
+    batch_parser.add_argument("--cache", default=None,
+                              help="persist results in this JSON cache "
+                                   "file; re-runs skip recompilation")
+    batch_parser.add_argument("--iterations", type=int, default=None,
+                              help="simulated iterations per kernel")
+    batch_parser.add_argument("--no-sim", action="store_true",
+                              help="skip the simulator audits")
+    batch_parser.add_argument("--baseline", action="store_true",
+                              help="also measure the unoptimized "
+                                   "baseline overhead")
+    batch_parser.add_argument("--json", default=None,
+                              help="also save the report as JSON")
+    batch_parser.set_defaults(func=_cmd_batch)
 
     verify_parser = commands.add_parser(
         "verify", help="compile a kernel and fail on any audit mismatch")

@@ -85,3 +85,7 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """Invalid experiment configuration or inconsistent results."""
+
+
+class BatchError(ReproError):
+    """Invalid batch-compilation job, cache, or engine configuration."""

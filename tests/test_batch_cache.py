@@ -1,0 +1,255 @@
+"""Tests of the batch result cache: digests, stores, invalidation."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.agu.model import AguSpec
+from repro.batch.cache import CacheStats, InMemoryLRUCache, JsonFileCache
+from repro.batch.digest import job_digest
+from repro.batch.engine import BatchCompiler
+from repro.batch.jobs import BatchJob, jobs_from_suite
+from repro.core.config import AllocatorConfig
+from repro.errors import BatchError
+from repro.ir.builder import pattern_from_offsets
+
+SOURCE = """
+for (i = 2; i <= 100; i++) {
+    A[i+1]; A[i]; A[i+2]; A[i-1]; A[i+1]; A[i]; A[i-2];
+}
+"""
+
+
+def make_job(**overrides) -> BatchJob:
+    fields = dict(name="example", spec=AguSpec(2, 1), source=SOURCE,
+                  n_iterations=8)
+    fields.update(overrides)
+    return BatchJob(**fields)
+
+
+class TestDigest:
+    def test_digest_is_deterministic(self):
+        assert job_digest(make_job()) == job_digest(make_job())
+
+    def test_digest_is_content_addressed_not_name_addressed(self):
+        """Renaming a job must not invalidate its cache entry."""
+        assert job_digest(make_job(name="a")) \
+            == job_digest(make_job(name="b"))
+
+    def test_source_change_invalidates(self):
+        changed = SOURCE.replace("A[i+2]", "A[i+3]")
+        assert job_digest(make_job()) \
+            != job_digest(make_job(source=changed))
+
+    def test_spec_change_invalidates(self):
+        assert job_digest(make_job()) \
+            != job_digest(make_job(spec=AguSpec(3, 1)))
+        assert job_digest(make_job()) \
+            != job_digest(make_job(spec=AguSpec(2, 2)))
+
+    def test_config_change_invalidates(self):
+        default = make_job(config=AllocatorConfig())
+        tweaked = make_job(config=AllocatorConfig(exact_cover_limit=5))
+        assert job_digest(default) != job_digest(tweaked)
+        assert job_digest(make_job()) != job_digest(default)
+
+    def test_option_change_invalidates(self):
+        assert job_digest(make_job()) \
+            != job_digest(make_job(run_simulation=False))
+        assert job_digest(make_job()) \
+            != job_digest(make_job(n_iterations=9))
+        assert job_digest(make_job()) \
+            != job_digest(make_job(include_baseline=True))
+
+    def test_pattern_jobs_digest_structurally(self):
+        first = BatchJob(name="p", spec=AguSpec(2, 1),
+                         pattern=pattern_from_offsets((1, 0, -1)))
+        same = BatchJob(name="q", spec=AguSpec(2, 1),
+                        pattern=pattern_from_offsets((1, 0, -1)))
+        other = BatchJob(name="p", spec=AguSpec(2, 1),
+                         pattern=pattern_from_offsets((1, 0, -2)))
+        assert job_digest(first) == job_digest(same)
+        assert job_digest(first) != job_digest(other)
+
+    def test_sets_digest_independently_of_iteration_order(self):
+        """Hash-order containers must not leak into the digest."""
+        from repro.batch.digest import digest_payload
+        first = digest_payload({"s": frozenset({"b", "a", "c"})})
+        second = digest_payload({"s": frozenset({"c", "b", "a"})})
+        assert first == second
+        assert digest_payload({"s": frozenset({1, 2})}) \
+            != digest_payload({"s": frozenset({1, 3})})
+
+    def test_digest_is_stable_across_process_restarts(self):
+        """The exact key survives a fresh interpreter (disk caches
+        would silently never hit otherwise)."""
+        here = job_digest(make_job())
+        script = (
+            "from repro.batch.digest import job_digest\n"
+            "from repro.batch.jobs import BatchJob\n"
+            "from repro.agu.model import AguSpec\n"
+            f"job = BatchJob(name='example', spec=AguSpec(2, 1), "
+            f"source={SOURCE!r}, n_iterations=8)\n"
+            "print(job_digest(job))\n"
+        )
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        there = subprocess.run(
+            [sys.executable, "-c", script], env=env, check=True,
+            capture_output=True, text=True).stdout.strip()
+        assert here == there
+
+
+class TestInMemoryLRUCache:
+    def test_miss_then_hit(self):
+        cache = InMemoryLRUCache()
+        assert cache.get("k") is None
+        cache.put("k", {"x": 1})
+        assert cache.get("k") == {"x": 1}
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.stores == 1
+        assert cache.stats.hit_rate == 0.5
+
+    def test_lru_eviction_order(self):
+        cache = InMemoryLRUCache(capacity=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        cache.get("a")          # refresh a; b is now LRU
+        cache.put("c", {"v": 3})
+        assert cache.get("b") is None
+        assert cache.get("a") == {"v": 1}
+        assert cache.get("c") == {"v": 3}
+        assert len(cache) == 2
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(BatchError):
+            InMemoryLRUCache(capacity=0)
+
+    def test_stats_str(self):
+        assert "0 hit(s)" in str(CacheStats())
+
+
+class TestJsonFileCache:
+    def test_persists_across_instances(self, tmp_path):
+        path = tmp_path / "cache.json"
+        first = JsonFileCache(path)
+        first.put("k", {"x": 1})
+        assert path.exists()
+        second = JsonFileCache(path)
+        assert second.get("k") == {"x": 1}
+        assert second.stats.hits == 1
+
+    def test_corrupt_store_degrades_to_empty(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{ not json")
+        cache = JsonFileCache(path)
+        assert len(cache) == 0
+        cache.put("k", {"x": 1})
+        assert JsonFileCache(path).get("k") == {"x": 1}
+
+    def test_non_mapping_store_degrades_to_empty(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps(["not", "a", "mapping"]))
+        assert len(JsonFileCache(path)) == 0
+
+    def test_store_is_sorted_json(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = JsonFileCache(path)
+        cache.put("b", {"x": 1})
+        cache.put("a", {"x": 2})
+        assert list(json.loads(path.read_text())) == ["a", "b"]
+
+    def test_put_many_is_one_write(self, tmp_path, monkeypatch):
+        cache = JsonFileCache(tmp_path / "cache.json")
+        flushes = []
+        monkeypatch.setattr(cache, "_flush",
+                            lambda: flushes.append(True))
+        cache.put_many({"a": {"x": 1}, "b": {"x": 2}})
+        assert len(flushes) == 1
+        assert cache.stats.stores == 2
+        cache.put_many({})
+        assert len(flushes) == 1
+
+    def test_engine_persists_a_batch_with_one_write(self, tmp_path,
+                                                    monkeypatch):
+        cache = JsonFileCache(tmp_path / "cache.json")
+        flushes = []
+        real_flush = cache._flush
+        monkeypatch.setattr(
+            cache, "_flush",
+            lambda: (flushes.append(True), real_flush())[1])
+        jobs = jobs_from_suite("core8", AguSpec(4, 1), n_iterations=4)
+        BatchCompiler(cache=cache).compile(jobs)
+        assert len(flushes) == 1
+        assert len(JsonFileCache(cache.path)) == len(jobs)
+
+
+class TestEngineCacheBehaviour:
+    SPEC = AguSpec(4, 1)
+
+    def test_hit_miss_accounting_through_the_engine(self):
+        compiler = BatchCompiler()
+        jobs = jobs_from_suite("core8", self.SPEC, n_iterations=4)
+        first = compiler.compile(jobs)
+        assert first.n_compiled == len(jobs)
+        assert compiler.cache.stats.misses == len(jobs)
+        second = compiler.compile(jobs)
+        assert second.n_compiled == 0
+        assert second.n_cache_hits == len(jobs)
+        assert compiler.cache.stats.hits == len(jobs)
+
+    def test_config_change_misses_the_cache(self):
+        compiler = BatchCompiler()
+        jobs = jobs_from_suite("core8", self.SPEC, n_iterations=4)
+        compiler.compile(jobs)
+        tighter = jobs_from_suite(
+            "core8", self.SPEC, AllocatorConfig(exact_cover_limit=4),
+            n_iterations=4)
+        report = compiler.compile(tighter)
+        assert report.n_cache_hits == 0
+        assert report.n_compiled == len(tighter)
+
+    def test_disk_cache_spans_engine_instances(self, tmp_path):
+        path = tmp_path / "results.json"
+        jobs = jobs_from_suite("core8", self.SPEC, n_iterations=4)
+        cold = BatchCompiler(cache=JsonFileCache(path)).compile(jobs)
+        assert cold.n_compiled == len(jobs)
+        warm = BatchCompiler(cache=JsonFileCache(path)).compile(jobs)
+        assert warm.n_cache_hits == len(jobs)
+        assert warm.n_compiled == 0
+        assert [r.total_cost for r in warm.results] \
+            == [r.total_cost for r in cold.results]
+
+    def test_malformed_cache_payload_is_recompiled(self, tmp_path):
+        path = tmp_path / "results.json"
+        jobs = jobs_from_suite("core8", self.SPEC, n_iterations=4)
+        BatchCompiler(cache=JsonFileCache(path)).compile(jobs)
+        store = json.loads(path.read_text())
+        for digest in store:
+            store[digest] = {"garbage": True}
+        path.write_text(json.dumps(store))
+        report = BatchCompiler(cache=JsonFileCache(path)).compile(jobs)
+        assert report.n_cache_hits == 0
+        assert report.all_audits_ok
+
+    def test_duplicate_jobs_compile_once_per_batch(self):
+        compiler = BatchCompiler()
+        job = jobs_from_suite("core8", self.SPEC, n_iterations=4)[0]
+        twin = BatchJob(name="twin", spec=job.spec, source=job.source,
+                        n_iterations=4)
+        report = compiler.compile([job, twin])
+        assert report.n_jobs == 2
+        assert report.n_compiled == 1
+        assert report.n_cache_hits == 1
+        assert report.result("twin").total_cost \
+            == report.results[0].total_cost

