@@ -4,13 +4,17 @@ Micro-benchmarks over the building blocks so performance regressions in
 the solvers show up directly: graph construction, matching, the exact
 branch-and-bound, the greedy cover, best-pair merging, codegen, the
 simulator, and SOA -- plus the batch engine's suite throughput (cold,
-cached, and parallel).
+cached, and parallel) and the sharded EXP-S1 grid's throughput.
 """
 
 import pytest
 
 from _bench_util import run_once
 
+from repro.analysis.experiments import (
+    StatisticalConfig,
+    run_statistical_comparison,
+)
 from repro.batch.cache import InMemoryLRUCache
 from repro.batch.engine import BatchCompiler
 from repro.batch.jobs import jobs_from_suite
@@ -146,3 +150,40 @@ def bench_batch_full_suite_parallel(benchmark, workers):
         lambda: BatchCompiler(cache=InMemoryLRUCache(),
                               n_workers=workers).compile(jobs))
     assert report.n_jobs == len(jobs) and report.all_audits_ok
+
+
+#: A mid-size EXP-S1 grid (12 points) for the sharding benchmarks:
+#: large enough that fan-out matters, small enough for CI benches.
+_STATS_GRID = StatisticalConfig(
+    n_values=(10, 15, 20), m_values=(1, 2), k_values=(2, 3),
+    patterns_per_config=10, naive_repeats=3)
+
+
+def bench_stats_grid_cold(benchmark):
+    """EXP-S1 grid throughput with an empty cache: every point runs."""
+    summary = run_once(benchmark, run_statistical_comparison,
+                       _STATS_GRID)
+    assert summary.n_points_compiled == len(_STATS_GRID.grid())
+    assert summary.n_points_cached == 0
+
+
+def bench_stats_grid_cached(benchmark):
+    """EXP-S1 grid on a warm shared cache: zero recomputations."""
+    cache = InMemoryLRUCache()
+    run_statistical_comparison(_STATS_GRID, cache=cache)
+
+    summary = run_once(benchmark, run_statistical_comparison,
+                       _STATS_GRID, cache=cache)
+    assert summary.n_points_compiled == 0
+    assert summary.n_points_cached == len(_STATS_GRID.grid())
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def bench_stats_grid_parallel(benchmark, workers):
+    """EXP-S1 grid throughput vs process-pool width (cold cache)."""
+    summary = run_once(
+        benchmark,
+        lambda: run_statistical_comparison(_STATS_GRID,
+                                           n_workers=workers))
+    assert len(summary.rows) == len(_STATS_GRID.grid())
+    assert summary.n_points_compiled == len(_STATS_GRID.grid())

@@ -52,7 +52,17 @@ from repro.workloads.random_patterns import (
 # ======================================================================
 @dataclass(frozen=True)
 class StatisticalConfig:
-    """Parameter grid of the statistical comparison (EXP-S1)."""
+    """Parameter grid of the statistical comparison (EXP-S1).
+
+    Seeding scheme: grid point ``g`` draws its random patterns from
+    ``seed + PATTERN_SEED_STRIDE * g`` and its naive-baseline merge
+    orders from the independent stream ``seed + NAIVE_SEED_STRIDE *
+    (g + 1)`` advanced by ``NAIVE_PATTERN_STRIDE * pattern_index +
+    repeat`` per draw (strides in :mod:`repro.batch.jobs`).  Every
+    (grid point, pattern, repeat) combination therefore gets its own
+    stream: the naive baselines are independent *across* grid points,
+    not just within one, and never alias a pattern-generation stream.
+    """
 
     n_values: tuple[int, ...] = (10, 15, 20, 30, 40)
     m_values: tuple[int, ...] = (1, 2, 4)
@@ -103,92 +113,123 @@ class StatisticalSummary:
     #: Reduction of the summed cost over the whole grid.
     overall_reduction_pct: float
     elapsed_seconds: float
+    #: Grid points computed this run vs served from the result cache.
+    n_points_compiled: int = 0
+    n_points_cached: int = 0
+
+
+def statistical_grid_jobs(config: StatisticalConfig) -> list:
+    """One picklable :class:`~repro.batch.jobs.StatisticalGridJob` per
+    (N, M, K) grid point, carrying this point's derived seeds."""
+    from repro.batch.jobs import (
+        NAIVE_SEED_STRIDE,
+        PATTERN_SEED_STRIDE,
+        StatisticalGridJob,
+    )
+
+    return [
+        StatisticalGridJob(
+            name=f"s1-n{n}-m{m}-k{k}", n=n, m=m, k=k,
+            patterns_per_config=config.patterns_per_config,
+            offset_span=config.offset_span,
+            distribution=config.distribution,
+            pattern_seed=config.seed + PATTERN_SEED_STRIDE * grid_index,
+            naive_seed=config.seed + NAIVE_SEED_STRIDE * (grid_index + 1),
+            naive_repeats=config.naive_repeats,
+            cost_model=config.cost_model,
+            exact_cover_limit=config.exact_cover_limit,
+            cover_node_budget=config.cover_node_budget)
+        for grid_index, (n, m, k) in enumerate(config.grid())
+    ]
+
+
+def statistical_rows_from_results(results) -> tuple[StatisticalRow, ...]:
+    """Lower :class:`~repro.batch.jobs.GridPointResult`s (in grid
+    order) to the summary's :class:`StatisticalRow`s."""
+    return tuple(
+        StatisticalRow(
+            n=result.n, m=result.m, k=result.k,
+            n_patterns=result.n_patterns,
+            mean_k_tilde=result.mean_k_tilde,
+            constrained_fraction=result.constrained_fraction,
+            mean_optimized=result.mean_optimized,
+            mean_naive=result.mean_naive,
+            reduction_pct=percent_reduction(result.mean_naive,
+                                            result.mean_optimized))
+        for result in results)
 
 
 def run_statistical_comparison(
-        config: StatisticalConfig | None = None) -> StatisticalSummary:
-    """EXP-S1: reproduce the paper's ≈40 % average-reduction claim."""
+        config: StatisticalConfig | None = None, *,
+        n_workers: int = 1, cache=None,
+        progress=None) -> StatisticalSummary:
+    """EXP-S1: reproduce the paper's ≈40 % average-reduction claim.
+
+    The grid is sharded through the batch engine
+    (:class:`~repro.batch.engine.BatchCompiler`): one cacheable job per
+    grid point, fanned out over ``n_workers`` processes, with results
+    streamed back as they finish.  Pass a ``cache`` backend (see
+    :mod:`repro.batch.cache`) to persist grid points across runs -- a
+    re-run then recomputes only what is missing.  ``progress``, when
+    given, is called as ``progress(done, total, result)`` after every
+    grid point.  The summary is bit-identical for any worker count and
+    for cached re-runs: each point's statistics depend only on its own
+    seeds, and rows are assembled in grid order.
+    """
+    from repro.batch.engine import BatchCompiler
+
     if config is None:
         config = StatisticalConfig()
     started = time.perf_counter()
-    rows: list[StatisticalRow] = []
+    jobs = statistical_grid_jobs(config)
+    compiler = BatchCompiler(cache=cache, n_workers=n_workers)
+
+    results = [None] * len(jobs)
+    done = 0
+    for index, result in compiler.as_completed(jobs):
+        results[index] = result
+        done += 1
+        if progress is not None:
+            progress(done, len(jobs), result)
+    assert all(result is not None for result in results)
+
+    rows = statistical_rows_from_results(results)
     sum_optimized = 0.0
     sum_naive = 0.0
-
-    for grid_index, (n, m, k) in enumerate(config.grid()):
-        spec = AguSpec(k, m)
-        allocator = AddressRegisterAllocator(spec, AllocatorConfig(
-            cost_model=config.cost_model,
-            exact_cover_limit=config.exact_cover_limit,
-            cover_node_budget=config.cover_node_budget))
-        patterns = generate_batch(
-            RandomPatternConfig(n, offset_span=config.offset_span,
-                                distribution=config.distribution),
-            config.patterns_per_config,
-            seed=config.seed + 7919 * grid_index)
-
-        optimized_costs: list[float] = []
-        naive_costs: list[float] = []
-        k_tildes: list[float] = []
-        constrained = 0
-        for pattern_index, pattern in enumerate(patterns):
-            cover, k_tilde, _feasible, _optimal = \
-                allocator.initial_cover(pattern)
-            k_tildes.append(float(k_tilde if k_tilde is not None
-                                  else cover.n_paths))
-            if cover.n_paths <= k:
-                cost = cover_cost(cover, pattern, m, config.cost_model)
-                optimized_costs.append(float(cost))
-                naive_costs.append(float(cost))
-                continue
-            constrained += 1
-            merged = best_pair_merge(cover, k, pattern, m,
-                                     config.cost_model)
-            optimized_costs.append(float(merged.total_cost))
-            repeats = [
-                naive_merge(cover, k, pattern, m, config.cost_model,
-                            strategy="random",
-                            seed=config.seed + 104729 * pattern_index
-                            + repeat).total_cost
-                for repeat in range(config.naive_repeats)
-            ]
-            naive_costs.append(mean(repeats))
-
-        row = StatisticalRow(
-            n=n, m=m, k=k, n_patterns=len(patterns),
-            mean_k_tilde=mean(k_tildes),
-            constrained_fraction=constrained / len(patterns),
-            mean_optimized=mean(optimized_costs),
-            mean_naive=mean(naive_costs),
-            reduction_pct=percent_reduction(mean(naive_costs),
-                                            mean(optimized_costs)),
-        )
-        rows.append(row)
-        sum_optimized += sum(optimized_costs)
-        sum_naive += sum(naive_costs)
+    for result in results:
+        sum_optimized += result.sum_optimized
+        sum_naive += result.sum_naive
 
     informative = [row.reduction_pct for row in rows if row.mean_naive > 0]
     average = mean(informative) if informative else 0.0
     overall = percent_reduction(sum_naive, sum_optimized)
     return StatisticalSummary(
-        config=config, rows=tuple(rows),
+        config=config, rows=rows,
         average_reduction_pct=average,
         overall_reduction_pct=overall,
         elapsed_seconds=time.perf_counter() - started,
+        n_points_compiled=sum(1 for r in results if not r.from_cache),
+        n_points_cached=sum(1 for r in results if r.from_cache),
     )
 
 
-def marginalize(summary: StatisticalSummary,
-                axis: str) -> list[StatisticalRow]:
+def marginalize(summary, axis: str) -> list[StatisticalRow]:
     """EXP-S2: average EXP-S1 rows over all but one parameter.
 
-    ``axis`` is ``"n"``, ``"m"`` or ``"k"``.  Returns synthetic rows
-    whose other two parameters are set to -1 (meaning "all").
+    ``axis`` is ``"n"``, ``"m"`` or ``"k"``.  ``summary`` is a
+    :class:`StatisticalSummary`, or directly an iterable of
+    :class:`StatisticalRow` /
+    :class:`~repro.batch.jobs.GridPointResult` (as streamed by the
+    batch engine).  Returns synthetic rows whose other two parameters
+    are set to -1 (meaning "all").
     """
     if axis not in ("n", "m", "k"):
         raise ExperimentError(f"axis must be 'n', 'm' or 'k', got {axis!r}")
+    rows = list(getattr(summary, "rows", summary))
+    if rows and not isinstance(rows[0], StatisticalRow):
+        rows = list(statistical_rows_from_results(rows))
     buckets: dict[int, list[StatisticalRow]] = {}
-    for row in summary.rows:
+    for row in rows:
         buckets.setdefault(getattr(row, axis), []).append(row)
 
     result = []

@@ -2,46 +2,66 @@
 
 The scaling layer on top of :func:`repro.core.pipeline.compile_kernel`:
 
-* :mod:`repro.batch.jobs` -- picklable :class:`BatchJob` units and the
+* :mod:`repro.batch.jobs` -- picklable :class:`BatchJob` units, the
   factories that mass-produce them (suites, kernel lists, random
-  families, spec/config matrices);
+  families, spec/config matrices), and :class:`StatisticalGridJob`
+  (one EXP-S1 grid point as a cacheable work unit);
 * :mod:`repro.batch.digest` -- stable content digests that key the
   result cache;
-* :mod:`repro.batch.cache` -- in-memory LRU and on-disk JSON stores;
+* :mod:`repro.batch.cache` -- in-memory LRU, on-disk JSON, and sharded
+  multi-host directory stores behind one backend protocol;
 * :mod:`repro.batch.engine` -- :class:`BatchCompiler` (process-pool
-  fan-out, cache orchestration) and the aggregated
-  :class:`BatchReport`.
+  fan-out, cache orchestration, streaming ``as_completed``/
+  ``run_iter`` delivery) and the aggregated :class:`BatchReport`.
 """
 
-from repro.batch.cache import CacheStats, InMemoryLRUCache, JsonFileCache
+from repro.batch.cache import (
+    CacheBackend,
+    CacheStats,
+    InMemoryLRUCache,
+    JsonFileCache,
+    ShardedDirectoryCache,
+    open_cache,
+)
 from repro.batch.digest import DIGEST_VERSION, job_digest
 from repro.batch.engine import (
     BatchCompiler,
     BatchReport,
     JobResult,
+    execute_any,
     execute_job,
 )
 from repro.batch.jobs import (
     BatchJob,
+    GridPointResult,
+    StatisticalGridJob,
     job_matrix,
     jobs_from_kernels,
     jobs_from_random,
     jobs_from_suite,
+    naive_baseline_seed,
 )
 
 __all__ = [
     "BatchCompiler",
     "BatchJob",
     "BatchReport",
+    "CacheBackend",
     "CacheStats",
     "DIGEST_VERSION",
+    "GridPointResult",
     "InMemoryLRUCache",
     "JobResult",
     "JsonFileCache",
+    "ShardedDirectoryCache",
+    "StatisticalGridJob",
+    "execute_any",
     "execute_job",
     "job_digest",
     "job_matrix",
     "jobs_from_kernels",
     "jobs_from_random",
     "jobs_from_suite",
+    "naive_baseline_seed",
+    "open_cache",
 ]

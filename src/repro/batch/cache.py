@@ -1,7 +1,7 @@
 """Result caches for the batch compilation engine.
 
-Two stores share one tiny mapping-style protocol (``get``/``put`` plus
-hit/miss statistics):
+Three stores share one tiny mapping-style protocol (``get``/``put``
+plus hit/miss statistics; see :class:`CacheBackend`):
 
 * :class:`InMemoryLRUCache` -- bounded, process-local; the default of
   :class:`~repro.batch.engine.BatchCompiler`, good for repeated runs
@@ -10,6 +10,10 @@ hit/miss statistics):
   experiment re-runs across process restarts skip recompilation.
   Writes are atomic (temp file + rename) and a corrupt or missing
   store degrades to empty instead of failing the batch.
+* :class:`ShardedDirectoryCache` -- one file per entry under sharded
+  subdirectories; because every write is an independent atomic rename,
+  many processes (or many hosts over a shared mounted path) can work
+  against one store concurrently without coordination.
 
 A store may additionally offer ``put_many(entries)`` to persist a
 whole batch in one write; the engine prefers it when present, so a
@@ -17,17 +21,26 @@ large batch costs one file rewrite instead of one per job.
 
 Payloads are plain JSON-able dicts (the lowered
 :class:`~repro.batch.engine.JobResult`); keys are the content digests
-of :mod:`repro.batch.digest`.
+of :mod:`repro.batch.digest`.  Stores hand out and keep *defensive
+copies*: mutating a payload after ``put`` or a dict returned by
+``get`` never reaches the cached state.
+
+:func:`open_cache` maps a CLI-style spec string (``mem``,
+``json:PATH``, ``dir:PATH``, or a bare path) to a backend.
 """
 
 from __future__ import annotations
 
+import copy
+import hashlib
 import json
 import os
+import re
 import tempfile
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
+from typing import Protocol, runtime_checkable
 
 from repro.errors import BatchError
 
@@ -54,6 +67,42 @@ class CacheStats:
                 f"{self.stores} store(s)")
 
 
+@runtime_checkable
+class CacheBackend(Protocol):
+    """What the engine needs from a result store.
+
+    Any object with these two methods (plus a ``stats`` attribute for
+    reporting) plugs into :class:`~repro.batch.engine.BatchCompiler`;
+    ``put_many`` is optional and only an optimization.
+    """
+
+    def get(self, digest: str) -> dict | None: ...
+
+    def put(self, digest: str, payload: dict) -> None: ...
+
+
+def _atomic_write_json(target: Path, payload) -> None:
+    """Write ``payload`` as JSON via temp file + rename.
+
+    A failed write cleans up its temp file, but a cleanup failure must
+    never mask the original error -- that is what callers need to see.
+    """
+    target.parent.mkdir(parents=True, exist_ok=True)
+    handle = tempfile.NamedTemporaryFile(
+        "w", dir=target.parent, prefix=target.name + ".",
+        suffix=".tmp", delete=False)
+    try:
+        with handle:
+            json.dump(payload, handle, sort_keys=True)
+        os.replace(handle.name, target)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
+
+
 @dataclass
 class InMemoryLRUCache:
     """A bounded in-memory result cache with LRU eviction."""
@@ -71,7 +120,7 @@ class InMemoryLRUCache:
         return len(self._entries)
 
     def get(self, digest: str) -> dict | None:
-        """The payload stored under ``digest``, or ``None`` on a miss."""
+        """A copy of the payload under ``digest``, or ``None`` on a miss."""
         try:
             payload = self._entries[digest]
         except KeyError:
@@ -79,11 +128,11 @@ class InMemoryLRUCache:
             return None
         self._entries.move_to_end(digest)
         self.stats.hits += 1
-        return payload
+        return copy.deepcopy(payload)
 
     def put(self, digest: str, payload: dict) -> None:
-        """Store ``payload``; evicts the least recently used entry."""
-        self._entries[digest] = payload
+        """Store a copy of ``payload``; evicts the least recently used."""
+        self._entries[digest] = copy.deepcopy(payload)
         self._entries.move_to_end(digest)
         self.stats.stores += 1
         while len(self._entries) > self.capacity:
@@ -122,10 +171,10 @@ class JsonFileCache:
             self.stats.misses += 1
             return None
         self.stats.hits += 1
-        return payload
+        return copy.deepcopy(payload)
 
     def put(self, digest: str, payload: dict) -> None:
-        self._entries[digest] = payload
+        self._entries[digest] = copy.deepcopy(payload)
         self.stats.stores += 1
         self._flush()
 
@@ -133,19 +182,88 @@ class JsonFileCache:
         """Store a whole batch with a single atomic file rewrite."""
         if not entries:
             return
-        self._entries.update(entries)
+        self._entries.update(copy.deepcopy(entries))
         self.stats.stores += len(entries)
         self._flush()
 
     def _flush(self) -> None:
-        self.path.parent.mkdir(parents=True, exist_ok=True)
-        handle = tempfile.NamedTemporaryFile(
-            "w", dir=self.path.parent, prefix=self.path.name + ".",
-            suffix=".tmp", delete=False)
+        _atomic_write_json(self.path, self._entries)
+
+
+#: Digests that can be used verbatim as file names; anything else is
+#: re-hashed (the mapping only has to be deterministic, not readable).
+#: The leading character must not be a dot: a ``..``-prefixed name
+#: would shard into ``root/../`` and escape the store.
+_FILENAME_SAFE = re.compile(r"[A-Za-z0-9_-][A-Za-z0-9_.-]{2,199}")
+
+
+class ShardedDirectoryCache:
+    """A shareable result cache: one file per entry, sharded directories.
+
+    Entries live at ``root/<digest[:2]>/<digest>.json`` -- 256-way
+    sharding keeps any one directory small even for grid-scale stores.
+    Every write is an independent atomic rename, so any number of
+    workers, processes, or hosts (over a mounted shared path) can read
+    and write one store concurrently without locks: a reader sees a
+    complete entry or none.  Unreadable or corrupt entries degrade to
+    misses and are recompiled.
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    def _entry_path(self, digest: str) -> Path:
+        name = digest if _FILENAME_SAFE.fullmatch(digest) else \
+            hashlib.sha256(digest.encode("utf-8")).hexdigest()
+        return self.root / name[:2] / f"{name}.json"
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+    def get(self, digest: str) -> dict | None:
         try:
-            with handle:
-                json.dump(self._entries, handle, sort_keys=True)
-            os.replace(handle.name, self.path)
-        except BaseException:
-            os.unlink(handle.name)
-            raise
+            payload = json.loads(self._entry_path(digest).read_text())
+        except (OSError, ValueError):
+            self.stats.misses += 1
+            return None
+        if not isinstance(payload, dict):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, digest: str, payload: dict) -> None:
+        _atomic_write_json(self._entry_path(digest), payload)
+        self.stats.stores += 1
+
+    def put_many(self, entries: dict[str, dict]) -> None:
+        for digest, payload in entries.items():
+            self.put(digest, payload)
+
+
+def open_cache(spec: str | Path) -> CacheBackend:
+    """Open a cache backend from a spec string.
+
+    * ``mem`` or ``mem:CAPACITY`` -- process-local LRU;
+    * ``json:PATH``, or any path ending in ``.json`` -- single-file
+      :class:`JsonFileCache`;
+    * ``dir:PATH``, or any other path -- :class:`ShardedDirectoryCache`
+      (the multi-host choice).
+    """
+    text = str(spec)
+    if text == "mem":
+        return InMemoryLRUCache()
+    if text.startswith("mem:"):
+        try:
+            capacity = int(text[len("mem:"):])
+        except ValueError:
+            raise BatchError(f"invalid cache capacity in spec {text!r}")
+        return InMemoryLRUCache(capacity=capacity)
+    if text.startswith("json:"):
+        return JsonFileCache(text[len("json:"):])
+    if text.startswith("dir:"):
+        return ShardedDirectoryCache(text[len("dir:"):])
+    if text.endswith(".json"):
+        return JsonFileCache(text)
+    return ShardedDirectoryCache(text)

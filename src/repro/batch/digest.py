@@ -63,7 +63,17 @@ def digest_payload(payload: Any) -> str:
 
 
 def job_digest(job) -> str:
-    """The content-addressed cache key of a :class:`~repro.batch.jobs.BatchJob`."""
+    """The content-addressed cache key of a batch job.
+
+    A job class may define its own key payload via a ``cache_key()``
+    method (e.g. :class:`~repro.batch.jobs.StatisticalGridJob`, whose
+    outcome is determined by grid parameters and seeds rather than a
+    kernel); plain :class:`~repro.batch.jobs.BatchJob` compilation
+    units digest the kernel + spec + config + options layout below.
+    """
+    cache_key = getattr(job, "cache_key", None)
+    if cache_key is not None:
+        return digest_payload(cache_key())
     return digest_payload({
         "v": DIGEST_VERSION,
         "kernel": job.source if job.source is not None else job.pattern,

@@ -19,6 +19,15 @@ The engine aggregates summaries, not full artifacts: a
 :class:`JobResult` is a small picklable/JSON-able record, which is what
 makes both the process pool and the on-disk cache cheap.  Callers that
 need listings or simulation traces compile those kernels individually.
+
+Two delivery modes share the cache/fan-out machinery:
+:meth:`BatchCompiler.compile` gathers a whole batch into a
+:class:`BatchReport`; :meth:`BatchCompiler.as_completed` /
+:meth:`BatchCompiler.run_iter` stream results as workers finish, for
+live progress and incremental persistence.  Both run any job type that
+offers the ``execute()``/``payload()`` protocol -- compilation units
+(:class:`~repro.batch.jobs.BatchJob`) and statistical grid points
+(:class:`~repro.batch.jobs.StatisticalGridJob`) alike.
 """
 
 from __future__ import annotations
@@ -26,15 +35,16 @@ from __future__ import annotations
 import dataclasses
 import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import as_completed as _futures_as_completed
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import Any, Iterable, Iterator, Sequence
 
 from repro.agu.codegen import generate_unoptimized_code
 from repro.agu.model import AguSpec
 from repro.agu.simulator import simulate
 from repro.batch.cache import InMemoryLRUCache
 from repro.batch.digest import job_digest
-from repro.batch.jobs import BatchJob, jobs_from_suite
+from repro.batch.jobs import BatchJob, CacheableResult, jobs_from_suite
 from repro.core.config import AllocatorConfig
 from repro.core.pipeline import (
     DEFAULT_SIMULATION_ITERATIONS,
@@ -44,7 +54,7 @@ from repro.errors import BatchError
 
 
 @dataclass(frozen=True)
-class JobResult:
+class JobResult(CacheableResult):
     """Per-job summary the engine aggregates (picklable, JSON-able)."""
 
     name: str
@@ -68,20 +78,6 @@ class JobResult:
     audit_ok: bool
     wall_seconds: float
     from_cache: bool = False
-
-    def payload(self) -> dict:
-        """The JSON-able cache payload (cache-state flag excluded)."""
-        record = dataclasses.asdict(self)
-        del record["from_cache"]
-        return record
-
-    @classmethod
-    def from_payload(cls, payload: dict, name: str) -> "JobResult | None":
-        """Rebuild from a cache payload; ``None`` if it is malformed."""
-        try:
-            return cls(**{**payload, "name": name, "from_cache": True})
-        except TypeError:
-            return None
 
 
 def execute_job(job: BatchJob) -> JobResult:
@@ -126,6 +122,25 @@ def execute_job(job: BatchJob) -> JobResult:
         or simulation.overhead_per_iteration == allocation.total_cost,
         wall_seconds=time.perf_counter() - started,
     )
+
+
+def execute_any(job) -> Any:
+    """Run one job of any supported type (the pool's submit target).
+
+    Job classes that define their own ``execute()`` (e.g.
+    :class:`~repro.batch.jobs.StatisticalGridJob`) run it; plain
+    :class:`~repro.batch.jobs.BatchJob` compilation units go through
+    :func:`execute_job`.
+    """
+    execute = getattr(job, "execute", None)
+    if execute is not None:
+        return execute()
+    return execute_job(job)
+
+
+def _result_type(job) -> type:
+    """The result class a job's cache payloads rebuild into."""
+    return getattr(job, "result_type", JobResult)
 
 
 @dataclass(frozen=True)
@@ -253,7 +268,7 @@ class BatchCompiler:
         for index, job in enumerate(jobs):
             digest = job_digest(job)
             payload = self.cache.get(digest)
-            result = JobResult.from_payload(payload, job.name) \
+            result = _result_type(job).from_payload(payload, job.name) \
                 if payload is not None else None
             if result is not None:
                 slots[index] = result
@@ -284,10 +299,91 @@ class BatchCompiler:
 
     def _run(self, jobs: Sequence[BatchJob]) -> list[JobResult]:
         if self.n_workers == 1 or len(jobs) <= 1:
-            return [execute_job(job) for job in jobs]
+            return [execute_any(job) for job in jobs]
         workers = min(self.n_workers, len(jobs))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(execute_job, jobs))
+            return list(pool.map(execute_any, jobs))
+
+    def as_completed(self, jobs: Iterable) -> Iterator[tuple[int, Any]]:
+        """Stream ``(index, result)`` pairs in completion order.
+
+        The streaming counterpart of :meth:`compile`: cache hits are
+        yielded immediately during the initial scan; misses fan out
+        (over the process pool when ``n_workers > 1``) and are yielded
+        as workers finish.  Identical jobs inside the batch (same
+        digest) compute once -- the duplicate slots are yielded as
+        cache hits when the first copy lands.
+
+        Every computed result is stored back into the cache the moment
+        it exists, so an interrupted run keeps its partial progress and
+        a re-run against the same cache only computes what is still
+        missing.
+        """
+        jobs = list(jobs)
+        pending: dict[str, list[int]] = {}
+        pending_jobs: dict[str, Any] = {}
+        for index, job in enumerate(jobs):
+            digest = job_digest(job)
+            payload = self.cache.get(digest)
+            result = _result_type(job).from_payload(payload, job.name) \
+                if payload is not None else None
+            if result is not None:
+                yield index, result
+                continue
+            pending.setdefault(digest, []).append(index)
+            pending_jobs.setdefault(digest, job)
+        if not pending:
+            return
+
+        persisted: set[str] = set()
+
+        def fan_out(digest: str, result: Any) -> Iterator[tuple[int, Any]]:
+            self.cache.put(digest, result.payload())
+            persisted.add(digest)
+            first, *duplicates = pending[digest]
+            yield first, result
+            for index in duplicates:
+                yield index, dataclasses.replace(
+                    result, name=jobs[index].name, from_cache=True)
+
+        if self.n_workers == 1 or len(pending) == 1:
+            for digest in pending:
+                yield from fan_out(digest,
+                                   execute_any(pending_jobs[digest]))
+            return
+        workers = min(self.n_workers, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(execute_any, pending_jobs[digest]):
+                       digest for digest in pending}
+            try:
+                for future in _futures_as_completed(futures):
+                    yield from fan_out(futures[future], future.result())
+            finally:
+                # Abandoned mid-stream: drop what never started, let
+                # in-flight jobs finish, and persist everything that
+                # completed -- compute is cached, never thrown away.
+                pool.shutdown(wait=True, cancel_futures=True)
+                for future, digest in futures.items():
+                    if digest in persisted or future.cancelled() \
+                            or not future.done() \
+                            or future.exception() is not None:
+                        continue
+                    self.cache.put(digest, future.result().payload())
+
+    def run_iter(self, jobs: Iterable) -> Iterator[Any]:
+        """Stream results in job order, each as soon as it is ready.
+
+        A reorder buffer over :meth:`as_completed`: result ``i`` is
+        held back until every result before it has been yielded, so
+        callers get streaming delivery with deterministic ordering.
+        """
+        buffered: dict[int, Any] = {}
+        next_index = 0
+        for index, result in self.as_completed(jobs):
+            buffered[index] = result
+            while next_index in buffered:
+                yield buffered.pop(next_index)
+                next_index += 1
 
     def compile_suite(self, suite: str, spec: AguSpec,
                       config: AllocatorConfig | None = None, *,

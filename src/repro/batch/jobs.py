@@ -15,18 +15,31 @@ Factories cover the common batch shapes:
   statistical experiments' input);
 * :func:`job_matrix` -- the cross product of a job list with an
   ``AguSpec`` x ``AllocatorConfig`` grid, for sweep-style batches.
+
+Besides compilation units, the module defines
+:class:`StatisticalGridJob`: one (N, M, K) grid point of the paper's
+statistical comparison (EXP-S1) as a self-contained, cacheable work
+unit, so the experiment's 45-point grid shards over the same engine,
+process pool, and result caches as kernel suites do.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import time
 from dataclasses import dataclass, replace
 from typing import Iterable, Sequence
 
 from repro.agu.model import AguSpec
+from repro.batch.digest import DIGEST_VERSION, job_digest
+from repro.core.allocator import AddressRegisterAllocator
 from repro.core.config import AllocatorConfig
 from repro.errors import BatchError
 from repro.ir.parser import parse_kernel
 from repro.ir.types import AccessPattern, ArrayDecl, Kernel, Loop
+from repro.merging.cost import CostModel, cover_cost
+from repro.merging.greedy import best_pair_merge
+from repro.merging.naive import naive_merge
 from repro.workloads.kernels import get_kernel
 from repro.workloads.random_patterns import (
     RandomPatternConfig,
@@ -129,6 +142,178 @@ def jobs_from_random(pattern_config: RandomPatternConfig, count: int,
                  include_baseline=include_baseline)
         for index, pattern in enumerate(patterns)
     ]
+
+
+# ----------------------------------------------------------------------
+# EXP-S1 grid points as batch jobs
+# ----------------------------------------------------------------------
+#: Seed strides of the EXP-S1 grid.  Each grid point's *patterns* come
+#: from the stream ``seed + PATTERN_SEED_STRIDE * grid_index``; its
+#: *naive-baseline* merge orders come from the independent stream
+#: ``seed + NAIVE_SEED_STRIDE * (grid_index + 1)`` advanced by
+#: ``NAIVE_PATTERN_STRIDE * pattern_index + repeat`` per draw.  The
+#: strides are large, distinct primes: NAIVE_SEED_STRIDE exceeds the
+#: largest per-point naive offset for up to 147 patterns per grid
+#: point, so no two grid points ever share a naive merge order, and
+#: the ``+ 1`` keeps every naive stream clear of the (much smaller)
+#: pattern-seed range, so a pattern RNG never aliases a merge-order
+#: RNG either.  (An earlier seeding scheme omitted the grid term,
+#: which made every grid point reuse one set of "independent" naive
+#: baselines.)
+PATTERN_SEED_STRIDE = 7919
+NAIVE_SEED_STRIDE = 15_485_863
+NAIVE_PATTERN_STRIDE = 104_729
+
+
+def naive_baseline_seed(naive_seed: int, pattern_index: int,
+                        repeat: int) -> int:
+    """The merge-order seed of one naive-baseline draw (see above)."""
+    return naive_seed + NAIVE_PATTERN_STRIDE * pattern_index + repeat
+
+
+class CacheableResult:
+    """The cache round-trip protocol shared by engine result types.
+
+    Mixed into frozen result dataclasses that carry a ``name`` (display
+    label, excluded from content addressing) and a ``from_cache`` flag;
+    the payload is every other field.
+    """
+
+    def payload(self) -> dict:
+        """The JSON-able cache payload (cache-state flag excluded)."""
+        record = dataclasses.asdict(self)
+        del record["from_cache"]
+        return record
+
+    @classmethod
+    def from_payload(cls, payload: dict, name: str):
+        """Rebuild from a cache payload; ``None`` if it is malformed."""
+        try:
+            return cls(**{**payload, "name": name, "from_cache": True})
+        except TypeError:
+            return None
+
+
+@dataclass(frozen=True)
+class GridPointResult(CacheableResult):
+    """Per-grid-point summary of EXP-S1 (picklable, JSON-able).
+
+    The statistical twin of :class:`~repro.batch.engine.JobResult`:
+    what the engine caches and streams for a
+    :class:`StatisticalGridJob`.  ``sum_optimized``/``sum_naive`` keep
+    the exact per-point cost sums so the grid-level (cost-weighted)
+    reduction can be reassembled bit-identically from shards.
+    """
+
+    name: str
+    digest: str
+    n: int
+    m: int
+    k: int
+    n_patterns: int
+    mean_k_tilde: float
+    #: Fraction of patterns where merging was needed at all (K~ > K).
+    constrained_fraction: float
+    mean_optimized: float
+    mean_naive: float
+    sum_optimized: float
+    sum_naive: float
+    wall_seconds: float
+    from_cache: bool = False
+
+
+@dataclass(frozen=True)
+class StatisticalGridJob:
+    """One (N, M, K) grid point of EXP-S1 as a cacheable batch job.
+
+    Self-contained and picklable: carries the pattern-family and
+    allocator parameters plus this point's two seeds, so the engine can
+    fan grid points out over a process pool and content-address their
+    results.  ``name`` is a display label only; it does not enter the
+    cache key.
+    """
+
+    name: str
+    n: int
+    m: int
+    k: int
+    patterns_per_config: int
+    offset_span: int
+    distribution: str
+    #: Seed of this point's random-pattern family.
+    pattern_seed: int
+    #: Base seed of this point's naive-baseline merge orders.
+    naive_seed: int
+    naive_repeats: int
+    cost_model: CostModel = CostModel.STEADY_STATE
+    exact_cover_limit: int = 24
+    cover_node_budget: int = 30_000
+
+    result_type = GridPointResult
+
+    def cache_key(self) -> dict:
+        """The digest payload: everything but the display name."""
+        record = dataclasses.asdict(self)
+        del record["name"]
+        return {"v": DIGEST_VERSION,
+                "experiment": "exp-s1-grid-point", **record}
+
+    def execute(self) -> GridPointResult:
+        """Run this grid point on the calling process."""
+        started = time.perf_counter()
+        allocator = AddressRegisterAllocator(
+            AguSpec(self.k, self.m),
+            AllocatorConfig(cost_model=self.cost_model,
+                            exact_cover_limit=self.exact_cover_limit,
+                            cover_node_budget=self.cover_node_budget))
+        patterns = generate_batch(
+            RandomPatternConfig(self.n, offset_span=self.offset_span,
+                                distribution=self.distribution),
+            self.patterns_per_config, seed=self.pattern_seed)
+
+        optimized_costs: list[float] = []
+        naive_costs: list[float] = []
+        k_tildes: list[float] = []
+        constrained = 0
+        for pattern_index, pattern in enumerate(patterns):
+            cover, k_tilde, _feasible, _optimal = \
+                allocator.initial_cover(pattern)
+            k_tildes.append(float(k_tilde if k_tilde is not None
+                                  else cover.n_paths))
+            if cover.n_paths <= self.k:
+                cost = cover_cost(cover, pattern, self.m, self.cost_model)
+                optimized_costs.append(float(cost))
+                naive_costs.append(float(cost))
+                continue
+            constrained += 1
+            merged = best_pair_merge(cover, self.k, pattern, self.m,
+                                     self.cost_model)
+            optimized_costs.append(float(merged.total_cost))
+            repeats = [
+                naive_merge(cover, self.k, pattern, self.m,
+                            self.cost_model, strategy="random",
+                            seed=naive_baseline_seed(
+                                self.naive_seed, pattern_index,
+                                repeat)).total_cost
+                for repeat in range(self.naive_repeats)
+            ]
+            naive_costs.append(sum(repeats) / len(repeats))
+
+        count = len(patterns)
+        if count == 0:
+            raise BatchError(
+                f"grid point {self.name!r}: patterns_per_config must "
+                f"be >= 1")
+        return GridPointResult(
+            name=self.name, digest=job_digest(self),
+            n=self.n, m=self.m, k=self.k, n_patterns=count,
+            mean_k_tilde=sum(k_tildes) / count,
+            constrained_fraction=constrained / count,
+            mean_optimized=sum(optimized_costs) / count,
+            mean_naive=sum(naive_costs) / count,
+            sum_optimized=sum(optimized_costs),
+            sum_naive=sum(naive_costs),
+            wall_seconds=time.perf_counter() - started)
 
 
 def job_matrix(jobs: Iterable[BatchJob], specs: Sequence[AguSpec],

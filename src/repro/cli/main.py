@@ -15,11 +15,16 @@ experiment
 batch
     Compile a whole kernel suite through the batch engine: process-pool
     fan-out, content-addressed result caching, aggregate report.
+stats
+    Run the EXP-S1 statistical grid sharded through the batch engine,
+    with live streaming progress, worker fan-out, and a persistent
+    (optionally shared) grid-point cache.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from pathlib import Path
 
@@ -54,6 +59,7 @@ from repro.graph.access_graph import AccessGraph
 from repro.graph.dot import graph_to_ascii, graph_to_dot
 from repro.ir.parser import parse_kernel
 from repro.workloads.kernels import KERNELS, get_kernel
+from repro.workloads.random_patterns import DISTRIBUTIONS
 from repro.workloads.suite import SUITES
 
 
@@ -240,6 +246,68 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0 if report.all_audits_ok else 1
 
 
+def _int_tuple(text: str) -> tuple[int, ...]:
+    """Argparse ``type=``: a comma-separated int list (clean usage
+    errors -- argparse turns the ValueError into one)."""
+    return tuple(int(part) for part in text.split(",") if part.strip())
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    from repro.analysis.stats import percent_reduction
+    from repro.batch.cache import open_cache
+
+    config = quick_statistical_config() if args.quick \
+        else StatisticalConfig()
+    overrides: dict = {}
+    if args.n_values:
+        overrides["n_values"] = args.n_values
+    if args.m_values:
+        overrides["m_values"] = args.m_values
+    if args.k_values:
+        overrides["k_values"] = args.k_values
+    if args.patterns is not None:
+        overrides["patterns_per_config"] = args.patterns
+    if args.repeats is not None:
+        overrides["naive_repeats"] = args.repeats
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    if args.distribution is not None:
+        overrides["distribution"] = args.distribution
+    if overrides:
+        config = dataclasses.replace(config, **overrides)
+
+    def progress(done: int, total: int, result) -> None:
+        state = "cached" if result.from_cache \
+            else f"{1000 * result.wall_seconds:.0f} ms"
+        reduction = percent_reduction(result.mean_naive,
+                                      result.mean_optimized)
+        print(f"[{done}/{total}] n={result.n} m={result.m} "
+              f"k={result.k}: best-pair {result.mean_optimized:.2f} vs "
+              f"naive {result.mean_naive:.2f} "
+              f"({reduction:+.1f} %) [{state}]", flush=True)
+
+    summary = run_statistical_comparison(
+        config, n_workers=args.workers,
+        cache=open_cache(args.cache) if args.cache else None,
+        progress=None if args.no_progress else progress)
+
+    print()
+    print(render.statistical_table(summary).render())
+    for axis in ("n", "m", "k"):
+        print(render.statistical_marginal_table(summary, axis).render())
+    print(f"average reduction: {summary.average_reduction_pct:.1f} % "
+          f"(paper: about 40 %); overall "
+          f"{summary.overall_reduction_pct:.1f} %")
+    print(f"{len(summary.rows)} grid point(s): "
+          f"{summary.n_points_compiled} compiled, "
+          f"{summary.n_points_cached} cache hit(s); "
+          f"{summary.elapsed_seconds:.3f} s on {args.workers} worker(s)")
+    if args.json:
+        path = reports.save_report(summary, args.json)
+        print(f"(report saved to {path})")
+    return 0
+
+
 _EXPERIMENTS = ("stats", "kernels", "pathcover", "costmodel", "merging",
                 "offset", "modreg", "reorder", "arraylayout")
 
@@ -389,6 +457,43 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument("--json", default=None,
                               help="also save the report as JSON")
     batch_parser.set_defaults(func=_cmd_batch)
+
+    stats_parser = commands.add_parser(
+        "stats", help="EXP-S1 statistical grid, sharded through the "
+                      "batch engine with streaming progress")
+    stats_parser.add_argument("--quick", action="store_true",
+                              help="start from the scaled-down grid")
+    stats_parser.add_argument("--n", dest="n_values", type=_int_tuple,
+                              default=None,
+                              help="comma-separated N values")
+    stats_parser.add_argument("--m", dest="m_values", type=_int_tuple,
+                              default=None,
+                              help="comma-separated M values")
+    stats_parser.add_argument("--k", dest="k_values", type=_int_tuple,
+                              default=None,
+                              help="comma-separated K values")
+    stats_parser.add_argument("--patterns", type=int, default=None,
+                              help="random patterns per grid point")
+    stats_parser.add_argument("--repeats", type=int, default=None,
+                              help="naive merge orders per pattern")
+    stats_parser.add_argument("--seed", type=int, default=None,
+                              help="base seed of the grid")
+    stats_parser.add_argument("--distribution", default=None,
+                              choices=sorted(DISTRIBUTIONS),
+                              help="offset distribution")
+    stats_parser.add_argument("-j", "--workers", type=int, default=1,
+                              help="process-pool width (default 1: "
+                                   "compute inline)")
+    stats_parser.add_argument("--cache", default=None,
+                              help="grid-point cache: PATH.json (single "
+                                   "JSON store) or a directory (sharded "
+                                   "store, shareable across hosts); "
+                                   "re-runs skip solved points")
+    stats_parser.add_argument("--no-progress", action="store_true",
+                              help="suppress per-point streaming output")
+    stats_parser.add_argument("--json", default=None,
+                              help="also save the summary as JSON")
+    stats_parser.set_defaults(func=_cmd_stats)
 
     verify_parser = commands.add_parser(
         "verify", help="compile a kernel and fail on any audit mismatch")

@@ -12,7 +12,13 @@ import pytest
 
 import repro
 from repro.agu.model import AguSpec
-from repro.batch.cache import CacheStats, InMemoryLRUCache, JsonFileCache
+from repro.batch.cache import (
+    CacheStats,
+    InMemoryLRUCache,
+    JsonFileCache,
+    ShardedDirectoryCache,
+    open_cache,
+)
 from repro.batch.digest import job_digest
 from repro.batch.engine import BatchCompiler
 from repro.batch.jobs import BatchJob, jobs_from_suite
@@ -192,6 +198,156 @@ class TestJsonFileCache:
         BatchCompiler(cache=cache).compile(jobs)
         assert len(flushes) == 1
         assert len(JsonFileCache(cache.path)) == len(jobs)
+
+
+class TestCachePayloadIsolation:
+    """A caller mutating a payload must never corrupt cached state."""
+
+    PAYLOAD = {"x": 1, "nested": {"y": 2}}
+
+    def _mutate(self, payload: dict) -> None:
+        payload["x"] = 99
+        payload["nested"]["y"] = 99
+
+    def test_lru_get_returns_a_defensive_copy(self):
+        cache = InMemoryLRUCache()
+        cache.put("k", dict(self.PAYLOAD))
+        self._mutate(cache.get("k"))
+        assert cache.get("k") == self.PAYLOAD
+
+    def test_lru_put_detaches_from_the_caller(self):
+        cache = InMemoryLRUCache()
+        payload = {"x": 1, "nested": {"y": 2}}
+        cache.put("k", payload)
+        self._mutate(payload)
+        assert cache.get("k") == self.PAYLOAD
+
+    def test_json_get_returns_a_defensive_copy(self, tmp_path):
+        cache = JsonFileCache(tmp_path / "cache.json")
+        cache.put("k", {"x": 1, "nested": {"y": 2}})
+        self._mutate(cache.get("k"))
+        assert cache.get("k") == self.PAYLOAD
+
+    def test_json_mutation_never_reaches_disk(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = JsonFileCache(path)
+        cache.put("k", {"x": 1, "nested": {"y": 2}})
+        self._mutate(cache.get("k"))
+        cache.put("other", {"z": 3})  # rewrites the whole store
+        assert json.loads(path.read_text())["k"] == self.PAYLOAD
+
+    def test_json_put_many_detaches_from_the_caller(self, tmp_path):
+        cache = JsonFileCache(tmp_path / "cache.json")
+        entries = {"k": {"x": 1, "nested": {"y": 2}}}
+        cache.put_many(entries)
+        self._mutate(entries["k"])
+        assert cache.get("k") == self.PAYLOAD
+
+
+class TestFlushFailure:
+    def test_original_error_survives_cleanup_failure(self, tmp_path,
+                                                     monkeypatch):
+        """A failing temp-file unlink must not mask the write error."""
+        import repro.batch.cache as cache_module
+
+        cache = JsonFileCache(tmp_path / "cache.json")
+
+        def explode(*args, **kwargs):
+            raise ValueError("original write error")
+
+        def bad_unlink(path):
+            raise OSError("cleanup also failed")
+
+        monkeypatch.setattr(cache_module.json, "dump", explode)
+        monkeypatch.setattr(cache_module.os, "unlink", bad_unlink)
+        with pytest.raises(ValueError, match="original write error"):
+            cache.put("k", {"x": 1})
+
+    def test_failed_flush_removes_its_temp_file(self, tmp_path,
+                                                monkeypatch):
+        import repro.batch.cache as cache_module
+
+        cache = JsonFileCache(tmp_path / "cache.json")
+
+        def explode(*args, **kwargs):
+            raise ValueError("boom")
+
+        monkeypatch.setattr(cache_module.json, "dump", explode)
+        with pytest.raises(ValueError):
+            cache.put("k", {"x": 1})
+        assert not list(tmp_path.glob("*.tmp"))
+
+
+class TestShardedDirectoryCache:
+    def test_persists_across_instances_with_sharded_layout(self,
+                                                           tmp_path):
+        root = tmp_path / "store"
+        digest = "ab12" + "0" * 60
+        first = ShardedDirectoryCache(root)
+        first.put(digest, {"x": 1})
+        assert (root / "ab" / f"{digest}.json").exists()
+        second = ShardedDirectoryCache(root)
+        assert second.get(digest) == {"x": 1}
+        assert second.stats.hits == 1
+        assert len(second) == 1
+
+    def test_miss_on_empty_and_corrupt_entries(self, tmp_path):
+        cache = ShardedDirectoryCache(tmp_path / "store")
+        assert cache.get("feed" * 16) is None
+        cache.put("feed" * 16, {"x": 1})
+        cache._entry_path("feed" * 16).write_text("{ not json")
+        assert cache.get("feed" * 16) is None
+        assert cache.stats.misses == 2
+
+    def test_unsafe_keys_are_hashed_to_file_names(self, tmp_path):
+        cache = ShardedDirectoryCache(tmp_path / "store")
+        # Slashes, leading dots: anything that could leave the root.
+        for key in ("../escape/attempt", "..evil", ".hidden-entry"):
+            cache.put(key, {"key": key})
+            assert cache.get(key) == {"key": key}
+            entry = cache._entry_path(key)
+            assert entry.resolve().is_relative_to(
+                (tmp_path / "store").resolve())
+        assert not list(tmp_path.glob("*.json"))  # nothing beside root
+
+    def test_engine_integration_cold_then_warm(self, tmp_path):
+        root = tmp_path / "store"
+        jobs = jobs_from_suite("core8", AguSpec(4, 1), n_iterations=4)
+        cold = BatchCompiler(cache=ShardedDirectoryCache(root)) \
+            .compile(jobs)
+        assert cold.n_compiled == len(jobs)
+        warm = BatchCompiler(cache=ShardedDirectoryCache(root)) \
+            .compile(jobs)
+        assert warm.n_cache_hits == len(jobs)
+        assert warm.n_compiled == 0
+        assert [r.total_cost for r in warm.results] \
+            == [r.total_cost for r in cold.results]
+
+    def test_concurrent_style_writes_do_not_clobber(self, tmp_path):
+        """Two handles to one store (as two hosts would have)."""
+        root = tmp_path / "store"
+        left, right = ShardedDirectoryCache(root), \
+            ShardedDirectoryCache(root)
+        left.put("a" * 64, {"who": "left"})
+        right.put("b" * 64, {"who": "right"})
+        assert left.get("b" * 64) == {"who": "right"}
+        assert right.get("a" * 64) == {"who": "left"}
+
+
+class TestOpenCache:
+    def test_spec_mapping(self, tmp_path):
+        assert isinstance(open_cache("mem"), InMemoryLRUCache)
+        sized = open_cache("mem:16")
+        assert isinstance(sized, InMemoryLRUCache)
+        assert sized.capacity == 16
+        assert isinstance(open_cache(str(tmp_path / "store.json")),
+                          JsonFileCache)
+        assert isinstance(open_cache(f"json:{tmp_path / 'x'}"),
+                          JsonFileCache)
+        assert isinstance(open_cache(str(tmp_path / "store")),
+                          ShardedDirectoryCache)
+        assert isinstance(open_cache(f"dir:{tmp_path / 'y.json'}"),
+                          ShardedDirectoryCache)
 
 
 class TestEngineCacheBehaviour:

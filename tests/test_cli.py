@@ -125,6 +125,48 @@ class TestBatch:
         assert "unknown suite" in capsys.readouterr().err
 
 
+class TestStats:
+    TINY = ["stats", "--n", "10,14", "--m", "1", "--k", "2",
+            "--patterns", "3", "--repeats", "2"]
+
+    def test_tiny_grid_streams_and_summarizes(self, capsys):
+        assert main(self.TINY) == 0
+        out = capsys.readouterr().out
+        assert "[1/2]" in out and "[2/2]" in out
+        assert "EXP-S1" in out and "EXP-S2" in out
+        assert "average reduction" in out
+        assert "2 grid point(s): 2 compiled, 0 cache hit(s)" in out
+
+    def test_no_progress_suppresses_streaming_lines(self, capsys):
+        assert main([*self.TINY, "--no-progress"]) == 0
+        out = capsys.readouterr().out
+        assert "[1/2]" not in out
+        assert "EXP-S1" in out
+
+    def test_cached_rerun_recomputes_nothing(self, tmp_path, capsys):
+        cache = str(tmp_path / "grid-cache")
+        assert main([*self.TINY, "--cache", cache]) == 0
+        capsys.readouterr()
+        assert main([*self.TINY, "--cache", cache, "--workers",
+                     "2"]) == 0
+        out = capsys.readouterr().out
+        assert "0 compiled, 2 cache hit(s)" in out
+        assert "[cached]" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        target = tmp_path / "stats.json"
+        assert main([*self.TINY, "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert len(payload["rows"]) == 2
+        assert payload["n_points_compiled"] == 2
+
+    def test_quick_flag_uses_scaled_down_grid(self, capsys):
+        assert main(["stats", "--quick", "--patterns", "2",
+                     "--repeats", "2", "--no-progress"]) == 0
+        out = capsys.readouterr().out
+        assert "8 grid point(s): 8 compiled" in out
+
+
 class TestExperiment:
     def test_quick_stats_with_json(self, tmp_path, capsys):
         target = tmp_path / "stats.json"
