@@ -4,7 +4,9 @@ Micro-benchmarks over the building blocks so performance regressions in
 the solvers show up directly: graph construction, matching, the exact
 branch-and-bound, the greedy cover, best-pair merging, codegen, the
 simulator, and SOA -- plus the batch engine's suite throughput (cold,
-cached, and parallel) and the sharded EXP-S1 grid's throughput.
+cached, and parallel), the sharded EXP-S1 grid's throughput, and the
+per-point throughput of every registered ablation experiment
+(``-k ablate``).
 """
 
 import pytest
@@ -13,11 +15,13 @@ from _bench_util import run_once
 
 from repro.analysis.experiments import (
     StatisticalConfig,
+    run_experiment,
     run_statistical_comparison,
 )
 from repro.batch.cache import InMemoryLRUCache
 from repro.batch.engine import BatchCompiler
 from repro.batch.jobs import jobs_from_suite
+from repro.batch.registry import get_experiment, registered_experiments
 
 from repro.agu.codegen import generate_address_code
 from repro.agu.model import AguSpec
@@ -187,3 +191,44 @@ def bench_stats_grid_parallel(benchmark, workers):
                                            n_workers=workers))
     assert len(summary.rows) == len(_STATS_GRID.grid())
     assert summary.n_points_compiled == len(_STATS_GRID.grid())
+
+
+#: All registered per-point ablation experiments (EXP-A1..A3, EXP-O1,
+#: EXP-X1..X3), benched on their quick grids; a newly registered
+#: experiment joins the benches automatically.
+_ABLATE_EXPERIMENTS = registered_experiments()
+
+
+@pytest.mark.parametrize("experiment", _ABLATE_EXPERIMENTS)
+def bench_ablate_points_cold(benchmark, experiment):
+    """Per-experiment point throughput with an empty cache."""
+    config = get_experiment(experiment).quick_config()
+    summary = run_once(benchmark,
+                       lambda: run_experiment(experiment, config))
+    assert summary.n_points_compiled > 0
+    assert summary.n_points_cached == 0
+
+
+@pytest.mark.parametrize("experiment", _ABLATE_EXPERIMENTS)
+def bench_ablate_points_cached(benchmark, experiment):
+    """Per-experiment point throughput on a warm shared cache: a
+    cached re-run recomputes nothing."""
+    config = get_experiment(experiment).quick_config()
+    cache = InMemoryLRUCache()
+    run_experiment(experiment, config, cache=cache)
+
+    summary = run_once(benchmark, run_experiment, experiment, config,
+                       cache=cache)
+    assert summary.n_points_compiled == 0
+    assert summary.n_points_cached > 0
+
+
+@pytest.mark.parametrize("workers", [1, 2, 4])
+def bench_ablate_grid_parallel(benchmark, workers):
+    """Ablation point fan-out vs process-pool width (cold cache, on
+    the widest default grid: EXP-A1's exact covers)."""
+    config = get_experiment("pathcover").quick_config()
+    summary = run_once(
+        benchmark,
+        lambda: run_experiment("pathcover", config, n_workers=workers))
+    assert summary.n_points_compiled > 0

@@ -20,6 +20,17 @@ Experiment ids follow DESIGN.md:
 
 Every experiment is seeded and returns a frozen summary dataclass that
 :func:`repro.analysis.reports.save_report` can archive.
+
+Every experiment executes through the batch engine
+(:class:`~repro.batch.engine.BatchCompiler`): EXP-S1 as
+:class:`~repro.batch.jobs.StatisticalGridJob` grid points, EXP-K1 as
+per-kernel compilation jobs, and the ablations (EXP-A1..A3, EXP-O1,
+EXP-X1..X3) as the registered
+:class:`~repro.batch.jobs.ExperimentPointJob` points of
+:mod:`repro.analysis.points`, all via :func:`run_experiment`.  Every
+``run_*`` entry point therefore takes ``n_workers=`` (process-pool
+fan-out), ``cache=`` (persistent, resumable point results), and
+``progress=`` (per-point streaming callback).
 """
 
 from __future__ import annotations
@@ -29,22 +40,10 @@ from dataclasses import dataclass
 
 from repro.agu.model import AguSpec
 from repro.analysis.stats import mean, percent_reduction
-from repro.core.allocator import AddressRegisterAllocator
 from repro.core.config import AllocatorConfig
 from repro.errors import ExperimentError
-from repro.graph.access_graph import AccessGraph
-from repro.merging.cost import CostModel, cover_cost
-from repro.merging.exhaustive import optimal_allocation
-from repro.merging.greedy import best_pair_merge
-from repro.merging.naive import naive_merge
-from repro.pathcover.branch_and_bound import minimum_zero_cost_cover
-from repro.pathcover.heuristic import greedy_zero_cost_cover
-from repro.pathcover.lower_bound import intra_cover_lower_bound
+from repro.merging.cost import CostModel
 from repro.workloads.kernels import KERNELS
-from repro.workloads.random_patterns import (
-    RandomPatternConfig,
-    generate_batch,
-)
 
 
 # ======================================================================
@@ -56,12 +55,17 @@ class StatisticalConfig:
 
     Seeding scheme: grid point ``g`` draws its random patterns from
     ``seed + PATTERN_SEED_STRIDE * g`` and its naive-baseline merge
-    orders from the independent stream ``seed + NAIVE_SEED_STRIDE *
-    (g + 1)`` advanced by ``NAIVE_PATTERN_STRIDE * pattern_index +
-    repeat`` per draw (strides in :mod:`repro.batch.jobs`).  Every
-    (grid point, pattern, repeat) combination therefore gets its own
-    stream: the naive baselines are independent *across* grid points,
-    not just within one, and never alias a pattern-generation stream.
+    orders from the independent stream ``naive_base +
+    NAIVE_SEED_STRIDE * (g + 1)`` advanced by ``NAIVE_PATTERN_STRIDE *
+    pattern_index + repeat`` per draw, where ``naive_base`` is
+    ``naive_seed_base`` when set and ``seed`` otherwise (strides in
+    :mod:`repro.batch.jobs`).  Every (grid point, pattern, repeat)
+    combination therefore gets its own stream: the naive baselines are
+    independent *across* grid points, not just within one, and never
+    alias a pattern-generation stream.  Callers that repeat the grid
+    (EXP-S3 runs it once per distribution) override ``naive_seed_base``
+    so every repetition also draws baselines independent of the other
+    repetitions', while the pattern streams stay paired.
     """
 
     n_values: tuple[int, ...] = (10, 15, 20, 30, 40)
@@ -74,6 +78,9 @@ class StatisticalConfig:
     #: The naive baseline is randomized; each pattern's naive cost is
     #: the mean over this many independent merge orders.
     naive_repeats: int = 5
+    #: Base of the naive-baseline seed streams; ``None`` means ``seed``
+    #: (see the seeding scheme above).
+    naive_seed_base: int | None = None
     cost_model: CostModel = CostModel.STEADY_STATE
     #: Phase-1 search limits (phase 1 is shared by both competitors).
     exact_cover_limit: int = 24
@@ -127,6 +134,8 @@ def statistical_grid_jobs(config: StatisticalConfig) -> list:
         StatisticalGridJob,
     )
 
+    naive_base = config.naive_seed_base \
+        if config.naive_seed_base is not None else config.seed
     return [
         StatisticalGridJob(
             name=f"s1-n{n}-m{m}-k{k}", n=n, m=m, k=k,
@@ -134,7 +143,7 @@ def statistical_grid_jobs(config: StatisticalConfig) -> list:
             offset_span=config.offset_span,
             distribution=config.distribution,
             pattern_seed=config.seed + PATTERN_SEED_STRIDE * grid_index,
-            naive_seed=config.seed + NAIVE_SEED_STRIDE * (grid_index + 1),
+            naive_seed=naive_base + NAIVE_SEED_STRIDE * (grid_index + 1),
             naive_repeats=config.naive_repeats,
             cost_model=config.cost_model,
             exact_cover_limit=config.exact_cover_limit,
@@ -358,10 +367,63 @@ def run_kernel_comparison(
 
 
 # ======================================================================
+# The generic sharded experiment runner
+# ======================================================================
+def run_experiment(experiment: str, config=None, *, n_workers: int = 1,
+                   cache=None, progress=None):
+    """Run a registered experiment sharded through the batch engine.
+
+    The uniform execution path behind every ``run_*`` ablation below:
+    the experiment's points (see :mod:`repro.batch.registry` and
+    :mod:`repro.analysis.points`) fan out over ``n_workers`` processes
+    via :class:`~repro.batch.engine.BatchCompiler`, every computed
+    point is persisted to ``cache`` the moment it exists (interrupted
+    runs resume; warm re-runs recompute nothing), ``progress(done,
+    total, result)`` fires per point, and the experiment's summary
+    dataclass is reassembled from the streamed results bit-identically
+    to what the retired sequential loops produced.
+    """
+    import dataclasses as _dataclasses
+
+    from repro.batch.engine import BatchCompiler
+    from repro.batch.registry import experiment_point_jobs, get_experiment
+
+    definition = get_experiment(experiment)
+    if config is None:
+        config = definition.default_config()
+    started = time.perf_counter()
+    jobs = experiment_point_jobs(definition, config)
+    compiler = BatchCompiler(cache=cache, n_workers=n_workers)
+
+    results = [None] * len(jobs)
+    done = 0
+    for index, result in compiler.as_completed(jobs):
+        results[index] = result
+        done += 1
+        if progress is not None:
+            progress(done, len(jobs), result)
+    assert all(result is not None for result in results)
+
+    summary = definition.assemble(config, results)
+    return _dataclasses.replace(
+        summary,
+        elapsed_seconds=time.perf_counter() - started,
+        n_points_compiled=sum(1 for r in results if not r.from_cache),
+        n_points_cached=sum(1 for r in results if r.from_cache))
+
+
+# ======================================================================
 # EXP-A1: path-cover ablation (LB vs exact vs greedy)
 # ======================================================================
 @dataclass(frozen=True)
 class PathCoverAblationConfig:
+    """Configuration of the path-cover ablation (EXP-A1).
+
+    Seeding scheme: grid point ``g`` draws its patterns from ``seed +
+    31 * g``; the experiment has no other randomness, so no further
+    per-point stream separation is needed.
+    """
+
     n_values: tuple[int, ...] = (8, 12, 16, 20, 24)
     m_values: tuple[int, ...] = (1, 2)
     patterns_per_config: int = 20
@@ -393,60 +455,22 @@ class PathCoverAblationSummary:
     config: PathCoverAblationConfig
     rows: tuple[PathCoverAblationRow, ...]
     elapsed_seconds: float
+    #: Points computed this run vs served from the result cache.
+    n_points_compiled: int = 0
+    n_points_cached: int = 0
 
 
 def run_path_cover_ablation(
-        config: PathCoverAblationConfig | None = None,
-) -> PathCoverAblationSummary:
-    """EXP-A1: how tight are the bounds, how costly is exactness."""
-    if config is None:
-        config = PathCoverAblationConfig()
-    started = time.perf_counter()
-    rows = []
-    for grid_index, (n, m) in enumerate(
-            (n, m) for n in config.n_values for m in config.m_values):
-        patterns = generate_batch(
-            RandomPatternConfig(n, offset_span=config.offset_span,
-                                distribution=config.distribution),
-            config.patterns_per_config,
-            seed=config.seed + 31 * grid_index)
-        lbs, exacts, greedies, nodes = [], [], [], []
-        exact_ms, greedy_ms = [], []
-        lb_tight = greedy_tight = proven = 0
-        for pattern in patterns:
-            graph = AccessGraph(pattern, m)
-            lb = intra_cover_lower_bound(graph)
+        config: PathCoverAblationConfig | None = None, *,
+        n_workers: int = 1, cache=None,
+        progress=None) -> PathCoverAblationSummary:
+    """EXP-A1: how tight are the bounds, how costly is exactness.
 
-            t0 = time.perf_counter()
-            greedy = greedy_zero_cost_cover(graph)
-            greedy_ms.append(1000 * (time.perf_counter() - t0))
-
-            t0 = time.perf_counter()
-            outcome = minimum_zero_cost_cover(
-                pattern, m, node_budget=config.node_budget)
-            exact_ms.append(1000 * (time.perf_counter() - t0))
-
-            lbs.append(float(lb))
-            exacts.append(float(outcome.k_tilde))
-            greedies.append(float(greedy.n_paths))
-            nodes.append(float(outcome.nodes_explored))
-            lb_tight += lb == outcome.k_tilde
-            greedy_tight += greedy.n_paths == outcome.k_tilde
-            proven += outcome.optimal
-        count = len(patterns)
-        rows.append(PathCoverAblationRow(
-            n=n, m=m, n_patterns=count,
-            mean_lower_bound=mean(lbs), mean_k_tilde=mean(exacts),
-            mean_greedy=mean(greedies),
-            lb_tight_fraction=lb_tight / count,
-            greedy_tight_fraction=greedy_tight / count,
-            exact_fraction=proven / count,
-            mean_nodes=mean(nodes),
-            mean_exact_ms=mean(exact_ms),
-            mean_greedy_ms=mean(greedy_ms),
-        ))
-    return PathCoverAblationSummary(config, tuple(rows),
-                                    time.perf_counter() - started)
+    Sharded through the batch engine (see :func:`run_experiment`):
+    one cacheable job per (N, M) grid point.
+    """
+    return run_experiment("pathcover", config, n_workers=n_workers,
+                          cache=cache, progress=progress)
 
 
 # ======================================================================
@@ -454,6 +478,12 @@ def run_path_cover_ablation(
 # ======================================================================
 @dataclass(frozen=True)
 class CostModelAblationConfig:
+    """Configuration of the cost-model ablation (EXP-A2).
+
+    Seeding scheme: grid point ``g`` draws its patterns from ``seed +
+    53 * g``; the experiment has no other randomness.
+    """
+
     n_values: tuple[int, ...] = (10, 20, 30)
     m_values: tuple[int, ...] = (1, 2)
     k_values: tuple[int, ...] = (2, 3)
@@ -484,55 +514,23 @@ class CostModelAblationSummary:
     rows: tuple[CostModelAblationRow, ...]
     mean_penalty_pct: float
     elapsed_seconds: float
+    #: Points computed this run vs served from the result cache.
+    n_points_compiled: int = 0
+    n_points_cached: int = 0
 
 
 def run_cost_model_ablation(
-        config: CostModelAblationConfig | None = None,
-) -> CostModelAblationSummary:
+        config: CostModelAblationConfig | None = None, *,
+        n_workers: int = 1, cache=None,
+        progress=None) -> CostModelAblationSummary:
     """EXP-A2: merging with the literal intra-only ``C(P)`` leaves the
-    wrap-around costs on the table; quantify how much."""
-    if config is None:
-        config = CostModelAblationConfig()
-    started = time.perf_counter()
-    rows = []
-    for grid_index, (n, m, k) in enumerate(
-            (n, m, k) for n in config.n_values for m in config.m_values
-            for k in config.k_values):
-        allocator = AddressRegisterAllocator(AguSpec(k, m), AllocatorConfig(
-            exact_cover_limit=config.exact_cover_limit,
-            cover_node_budget=config.cover_node_budget))
-        patterns = generate_batch(
-            RandomPatternConfig(n, offset_span=config.offset_span),
-            config.patterns_per_config, seed=config.seed + 53 * grid_index)
-        steady_costs_intra, steady_costs_steady = [], []
-        for pattern in patterns:
-            cover, _kt, _feasible, _optimal = \
-                allocator.initial_cover(pattern)
-            if cover.n_paths <= k:
-                cost = float(cover_cost(cover, pattern, m,
-                                        CostModel.STEADY_STATE))
-                steady_costs_intra.append(cost)
-                steady_costs_steady.append(cost)
-                continue
-            merged_intra = best_pair_merge(cover, k, pattern, m,
-                                           CostModel.INTRA)
-            merged_steady = best_pair_merge(cover, k, pattern, m,
-                                            CostModel.STEADY_STATE)
-            steady_costs_intra.append(float(cover_cost(
-                merged_intra.cover, pattern, m, CostModel.STEADY_STATE)))
-            steady_costs_steady.append(float(merged_steady.total_cost))
-        mean_intra = mean(steady_costs_intra)
-        mean_steady = mean(steady_costs_steady)
-        rows.append(CostModelAblationRow(
-            n=n, m=m, k=k, n_patterns=len(patterns),
-            mean_steady_when_merged_intra=mean_intra,
-            mean_steady_when_merged_steady=mean_steady,
-            penalty_pct=percent_reduction(mean_intra, mean_steady),
-        ))
-    return CostModelAblationSummary(
-        config, tuple(rows),
-        mean_penalty_pct=mean([row.penalty_pct for row in rows]),
-        elapsed_seconds=time.perf_counter() - started)
+    wrap-around costs on the table; quantify how much.
+
+    Sharded through the batch engine (see :func:`run_experiment`):
+    one cacheable job per (N, M, K) grid point.
+    """
+    return run_experiment("costmodel", config, n_workers=n_workers,
+                          cache=cache, progress=progress)
 
 
 # ======================================================================
@@ -540,6 +538,19 @@ def run_cost_model_ablation(
 # ======================================================================
 @dataclass(frozen=True)
 class MergingAblationConfig:
+    """Configuration of the merging-strategy ablation (EXP-A3).
+
+    Seeding scheme: grid point ``g`` draws its patterns from ``seed +
+    97 * g``; the randomized naive baseline of pattern ``p`` draws its
+    merge order from ``naive_baseline_seed(seed + NAIVE_SEED_STRIDE *
+    (g + 1), p, 0)`` (strides in :mod:`repro.batch.jobs`), so naive
+    merge orders are independent across grid points and never alias a
+    pattern stream.  (An earlier scheme seeded the baseline with
+    ``seed + p`` alone, which replayed one merge-order stream on every
+    grid point -- and aliased the point-0 pattern stream -- the same
+    seed-reuse bug fixed for EXP-S1 in the sharded grid.)
+    """
+
     n_values: tuple[int, ...] = (8, 10, 12)
     m_values: tuple[int, ...] = (1, 2)
     k_values: tuple[int, ...] = (2, 3)
@@ -571,64 +582,24 @@ class MergingAblationSummary:
     config: MergingAblationConfig
     rows: tuple[MergingAblationRow, ...]
     elapsed_seconds: float
+    #: Points computed this run vs served from the result cache.
+    n_points_compiled: int = 0
+    n_points_cached: int = 0
 
 
 def run_merging_ablation(
-        config: MergingAblationConfig | None = None,
-) -> MergingAblationSummary:
-    """EXP-A3: position the paper's heuristic between naive and optimal."""
-    if config is None:
-        config = MergingAblationConfig()
-    started = time.perf_counter()
-    rows = []
-    for grid_index, (n, m, k) in enumerate(
-            (n, m, k) for n in config.n_values for m in config.m_values
-            for k in config.k_values):
-        patterns = generate_batch(
-            RandomPatternConfig(n, offset_span=config.offset_span),
-            config.patterns_per_config, seed=config.seed + 97 * grid_index)
-        optimal_costs, best_costs = [], []
-        naive_random_costs, naive_first_costs = [], []
-        hits = 0
-        gaps = []
-        for pattern_index, pattern in enumerate(patterns):
-            outcome = minimum_zero_cost_cover(pattern, m)
-            cover = outcome.cover
-            optimum = optimal_allocation(pattern, k, m, config.cost_model)
-            optimal_costs.append(float(optimum.total_cost))
-            if cover.n_paths <= k:
-                cost = float(cover_cost(cover, pattern, m,
-                                        config.cost_model))
-                best_costs.append(cost)
-                naive_random_costs.append(cost)
-                naive_first_costs.append(cost)
-            else:
-                best = best_pair_merge(cover, k, pattern, m,
-                                       config.cost_model)
-                best_costs.append(float(best.total_cost))
-                naive_random_costs.append(float(naive_merge(
-                    cover, k, pattern, m, config.cost_model,
-                    strategy="random",
-                    seed=config.seed + pattern_index).total_cost))
-                naive_first_costs.append(float(naive_merge(
-                    cover, k, pattern, m, config.cost_model,
-                    strategy="first_pair").total_cost))
-            hits += best_costs[-1] == optimal_costs[-1]
-            if optimal_costs[-1] > 0:
-                gaps.append(100.0 * (best_costs[-1] - optimal_costs[-1])
-                            / optimal_costs[-1])
-        count = len(patterns)
-        rows.append(MergingAblationRow(
-            n=n, m=m, k=k, n_patterns=count,
-            mean_optimal=mean(optimal_costs),
-            mean_best_pair=mean(best_costs),
-            mean_naive_random=mean(naive_random_costs),
-            mean_naive_first=mean(naive_first_costs),
-            best_pair_optimal_fraction=hits / count,
-            best_pair_gap_pct=mean(gaps) if gaps else 0.0,
-        ))
-    return MergingAblationSummary(config, tuple(rows),
-                                  time.perf_counter() - started)
+        config: MergingAblationConfig | None = None, *,
+        n_workers: int = 1, cache=None,
+        progress=None) -> MergingAblationSummary:
+    """EXP-A3: position the paper's heuristic between naive and optimal.
+
+    Sharded through the batch engine (see :func:`run_experiment`):
+    one cacheable job per (N, M, K) grid point, each carrying its own
+    pattern and naive-baseline seeds (scheme on
+    :class:`MergingAblationConfig`).
+    """
+    return run_experiment("merging", config, n_workers=n_workers,
+                          cache=cache, progress=progress)
 
 
 # ======================================================================
@@ -636,6 +607,14 @@ def run_merging_ablation(
 # ======================================================================
 @dataclass(frozen=True)
 class OffsetComparisonConfig:
+    """Configuration of the offset-assignment comparison (EXP-O1).
+
+    Seeding scheme: grid point ``g`` (one (V, length) pair) draws
+    sequence ``i`` from ``seed + 1009 * g + i`` -- the 1009 stride
+    keeps per-point sequence streams disjoint for up to 1009 sequences
+    per point; the experiment has no other randomness.
+    """
+
     v_values: tuple[int, ...] = (5, 8, 12, 16)
     length_values: tuple[int, ...] = (20, 40)
     sequences_per_config: int = 25
@@ -678,85 +657,25 @@ class OffsetComparisonSummary:
     mean_liao_reduction_pct: float
     mean_tiebreak_reduction_pct: float
     elapsed_seconds: float
+    #: Points computed this run vs served from the result cache.
+    n_points_compiled: int = 0
+    n_points_cached: int = 0
 
 
 def run_offset_comparison(
-        config: OffsetComparisonConfig | None = None,
-) -> OffsetComparisonSummary:
+        config: OffsetComparisonConfig | None = None, *,
+        n_workers: int = 1, cache=None,
+        progress=None) -> OffsetComparisonSummary:
     """EXP-O1: SOA heuristics vs the OFU baseline (and GOA over k ARs).
 
     Context for the paper's "complementary" citation of refs [4, 5]:
     scalar-variable addressing benefits from the same AGU hardware via
-    layout choice rather than register assignment.
+    layout choice rather than register assignment.  Sharded through
+    the batch engine (see :func:`run_experiment`): one cacheable job
+    per (V, length) grid point, covering its SOA row and GOA rows.
     """
-    from repro.offset.goa import goa_first_use, goa_greedy
-    from repro.offset.sequence import random_sequence
-    from repro.offset.soa import (
-        assignment_cost,
-        liao_soa,
-        ofu_assignment,
-        optimal_assignment,
-        tiebreak_soa,
-    )
-
-    if config is None:
-        config = OffsetComparisonConfig()
-    started = time.perf_counter()
-    soa_rows: list[OffsetSoaRow] = []
-    goa_rows: list[OffsetGoaRow] = []
-    for grid_index, (n_variables, length) in enumerate(
-            (v, length) for v in config.v_values
-            for length in config.length_values):
-        sequences = [
-            random_sequence(n_variables, length,
-                            seed=config.seed + 1009 * grid_index + index,
-                            locality=config.locality)
-            for index in range(config.sequences_per_config)
-        ]
-        ofu_costs, liao_costs, tiebreak_costs = [], [], []
-        optimal_costs: list[float] = []
-        for sequence in sequences:
-            ofu_costs.append(float(assignment_cost(
-                ofu_assignment(sequence), sequence)))
-            liao_costs.append(float(assignment_cost(
-                liao_soa(sequence), sequence)))
-            tiebreak_costs.append(float(assignment_cost(
-                tiebreak_soa(sequence), sequence)))
-            if n_variables <= config.optimal_limit:
-                optimal_costs.append(float(assignment_cost(
-                    optimal_assignment(sequence), sequence)))
-        soa_rows.append(OffsetSoaRow(
-            n_variables=n_variables, length=length,
-            n_sequences=len(sequences),
-            mean_ofu=mean(ofu_costs),
-            mean_liao=mean(liao_costs),
-            mean_tiebreak=mean(tiebreak_costs),
-            liao_reduction_pct=percent_reduction(mean(ofu_costs),
-                                                 mean(liao_costs)),
-            tiebreak_reduction_pct=percent_reduction(
-                mean(ofu_costs), mean(tiebreak_costs)),
-            mean_optimal=mean(optimal_costs) if optimal_costs else None,
-        ))
-        for k in config.goa_k_values:
-            first_use_costs = [float(goa_first_use(sequence, k).cost)
-                               for sequence in sequences]
-            greedy_costs = [float(goa_greedy(sequence, k).cost)
-                            for sequence in sequences]
-            goa_rows.append(OffsetGoaRow(
-                n_variables=n_variables, length=length, k=k,
-                n_sequences=len(sequences),
-                mean_first_use=mean(first_use_costs),
-                mean_greedy=mean(greedy_costs),
-                reduction_pct=percent_reduction(mean(first_use_costs),
-                                                mean(greedy_costs)),
-            ))
-    return OffsetComparisonSummary(
-        config=config, soa_rows=tuple(soa_rows), goa_rows=tuple(goa_rows),
-        mean_liao_reduction_pct=mean(
-            [row.liao_reduction_pct for row in soa_rows]),
-        mean_tiebreak_reduction_pct=mean(
-            [row.tiebreak_reduction_pct for row in soa_rows]),
-        elapsed_seconds=time.perf_counter() - started)
+    return run_experiment("offset", config, n_workers=n_workers,
+                          cache=cache, progress=progress)
 
 
 # ======================================================================
@@ -764,6 +683,14 @@ def run_offset_comparison(
 # ======================================================================
 @dataclass(frozen=True)
 class ModRegAblationConfig:
+    """Configuration of the modify-register ablation (EXP-X1).
+
+    Seeding scheme: grid pair ``g`` (one (N, K) combination) draws its
+    patterns from ``seed + 1013 * g``; all ``mr_values`` points of one
+    pair share that pattern family deliberately, so the MR sweep is
+    paired.  The experiment has no other randomness.
+    """
+
     n_values: tuple[int, ...] = (15, 25)
     k_values: tuple[int, ...] = (2, 3)
     mr_values: tuple[int, ...] = (0, 1, 2, 4)
@@ -791,54 +718,27 @@ class ModRegAblationSummary:
     config: ModRegAblationConfig
     rows: tuple[ModRegAblationRow, ...]
     elapsed_seconds: float
+    #: Points computed this run vs served from the result cache.
+    n_points_compiled: int = 0
+    n_points_cached: int = 0
 
 
 def run_modreg_ablation(
-        config: ModRegAblationConfig | None = None,
-) -> ModRegAblationSummary:
+        config: ModRegAblationConfig | None = None, *,
+        n_workers: int = 1, cache=None,
+        progress=None) -> ModRegAblationSummary:
     """EXP-X1: addressing cost vs the number of modify registers.
 
     Extension experiment (not in the paper): quantifies how much of the
     residual unit-cost addressing an MR file of growing size recovers,
     using exact per-allocation value selection plus iterative
-    re-merging (:mod:`repro.modreg`).
+    re-merging (:mod:`repro.modreg`).  Sharded through the batch
+    engine (see :func:`run_experiment`): one cacheable job per
+    (N, K, MR) point; the reduction-vs-no-MR column is reassembled
+    against each (N, K) pair's MR=0 point.
     """
-    from repro.modreg.refine import allocate_with_modify_registers
-
-    if config is None:
-        config = ModRegAblationConfig()
-    started = time.perf_counter()
-    rows: list[ModRegAblationRow] = []
-    allocator_config = AllocatorConfig(
-        exact_cover_limit=config.exact_cover_limit,
-        cover_node_budget=config.cover_node_budget)
-
-    for grid_index, (n, k) in enumerate(
-            (n, k) for n in config.n_values for k in config.k_values):
-        patterns = generate_batch(
-            RandomPatternConfig(n, offset_span=config.offset_span),
-            config.patterns_per_config,
-            seed=config.seed + 1013 * grid_index)
-        base_mean: float | None = None
-        for n_mrs in config.mr_values:
-            spec = AguSpec(k, config.modify_range,
-                           f"mr{n_mrs}", n_modify_registers=n_mrs)
-            costs = [
-                float(allocate_with_modify_registers(
-                    pattern, spec, allocator_config).total_cost)
-                for pattern in patterns
-            ]
-            mean_cost = mean(costs)
-            if n_mrs == 0:
-                base_mean = mean_cost
-            reduction = percent_reduction(base_mean, mean_cost) \
-                if base_mean is not None else 0.0
-            rows.append(ModRegAblationRow(
-                n=n, k=k, n_modify_registers=n_mrs,
-                n_patterns=len(patterns), mean_cost=mean_cost,
-                reduction_vs_no_mr_pct=reduction))
-    return ModRegAblationSummary(config, tuple(rows),
-                                 time.perf_counter() - started)
+    return run_experiment("modreg", config, n_workers=n_workers,
+                          cache=cache, progress=progress)
 
 
 # ======================================================================
@@ -846,6 +746,12 @@ def run_modreg_ablation(
 # ======================================================================
 @dataclass(frozen=True)
 class ReorderAblationConfig:
+    """Configuration of the access-reordering ablation (EXP-X2).
+
+    Seeding scheme: grid point ``g`` draws its patterns from ``seed +
+    211 * g``; the experiment has no other randomness.
+    """
+
     n_values: tuple[int, ...] = (8, 12, 16)
     k_values: tuple[int, ...] = (2, 3)
     modify_range: int = 1
@@ -873,50 +779,26 @@ class ReorderAblationSummary:
     rows: tuple[ReorderAblationRow, ...]
     mean_reduction_pct: float
     elapsed_seconds: float
+    #: Points computed this run vs served from the result cache.
+    n_points_compiled: int = 0
+    n_points_cached: int = 0
 
 
 def run_reorder_ablation(
-        config: ReorderAblationConfig | None = None,
-) -> ReorderAblationSummary:
+        config: ReorderAblationConfig | None = None, *,
+        n_workers: int = 1, cache=None,
+        progress=None) -> ReorderAblationSummary:
     """EXP-X2: what scheduling freedom buys on top of the paper.
 
     Extension experiment (not in the paper): random patterns with
     writes (so real dependences exist) are allocated with the paper's
     fixed access order and with the reordering extension; the reordered
-    cost can never be worse by construction.
+    cost can never be worse by construction.  Sharded through the
+    batch engine (see :func:`run_experiment`): one cacheable job per
+    (N, K) grid point.
     """
-    from repro.reorder.search import reorder_accesses
-
-    if config is None:
-        config = ReorderAblationConfig()
-    started = time.perf_counter()
-    rows: list[ReorderAblationRow] = []
-    for grid_index, (n, k) in enumerate(
-            (n, k) for n in config.n_values for k in config.k_values):
-        spec = AguSpec(k, config.modify_range)
-        patterns = generate_batch(
-            RandomPatternConfig(n, offset_span=config.offset_span,
-                                write_fraction=config.write_fraction),
-            config.patterns_per_config,
-            seed=config.seed + 211 * grid_index)
-        fixed_costs, reordered_costs = [], []
-        changed = 0
-        for pattern in patterns:
-            result = reorder_accesses(pattern, spec)
-            fixed_costs.append(float(result.baseline_cost))
-            reordered_costs.append(float(result.cost))
-            changed += result.is_reordered
-        rows.append(ReorderAblationRow(
-            n=n, k=k, n_patterns=len(patterns),
-            mean_fixed_order=mean(fixed_costs),
-            mean_reordered=mean(reordered_costs),
-            reduction_pct=percent_reduction(mean(fixed_costs),
-                                            mean(reordered_costs)),
-            reordered_fraction=changed / len(patterns)))
-    return ReorderAblationSummary(
-        config, tuple(rows),
-        mean_reduction_pct=mean([row.reduction_pct for row in rows]),
-        elapsed_seconds=time.perf_counter() - started)
+    return run_experiment("reorder", config, n_workers=n_workers,
+                          cache=cache, progress=progress)
 
 
 # ======================================================================
@@ -924,6 +806,12 @@ def run_reorder_ablation(
 # ======================================================================
 @dataclass(frozen=True)
 class ArrayLayoutAblationConfig:
+    """Configuration of the array-layout ablation (EXP-X3).
+
+    Seeding scheme: grid point ``g`` draws its patterns from ``seed +
+    307 * g``; the experiment has no other randomness.
+    """
+
     n_values: tuple[int, ...] = (10, 16)
     k_values: tuple[int, ...] = (1, 2)
     n_arrays: int = 3
@@ -951,53 +839,26 @@ class ArrayLayoutAblationSummary:
     rows: tuple[ArrayLayoutAblationRow, ...]
     mean_reduction_pct: float
     elapsed_seconds: float
+    #: Points computed this run vs served from the result cache.
+    n_points_compiled: int = 0
+    n_points_cached: int = 0
 
 
 def run_array_layout_ablation(
-        config: ArrayLayoutAblationConfig | None = None,
-) -> ArrayLayoutAblationSummary:
+        config: ArrayLayoutAblationConfig | None = None, *,
+        n_workers: int = 1, cache=None,
+        progress=None) -> ArrayLayoutAblationSummary:
     """EXP-X3: what choosing array base addresses buys.
 
     Extension experiment (ref [1]'s layout angle, not in the paper):
     multi-array random patterns are allocated once; their cost is then
     evaluated under the reference guard-gap layout vs the optimized
-    placement of :mod:`repro.arraylayout`.
+    placement of :mod:`repro.arraylayout`.  Sharded through the batch
+    engine (see :func:`run_experiment`): one cacheable job per (N, K)
+    grid point.
     """
-    from repro.arraylayout.optimize import optimize_layout
-    from repro.ir.types import ArrayDecl
-
-    if config is None:
-        config = ArrayLayoutAblationConfig()
-    started = time.perf_counter()
-    rows: list[ArrayLayoutAblationRow] = []
-    for grid_index, (n, k) in enumerate(
-            (n, k) for n in config.n_values for k in config.k_values):
-        spec = AguSpec(k, config.modify_range)
-        allocator = AddressRegisterAllocator(spec)
-        patterns = generate_batch(
-            RandomPatternConfig(n, offset_span=config.offset_span,
-                                n_arrays=config.n_arrays),
-            config.patterns_per_config,
-            seed=config.seed + 307 * grid_index)
-        defaults, optimizeds = [], []
-        for pattern in patterns:
-            allocation = allocator.allocate(pattern)
-            decls = [ArrayDecl(name, length=config.array_length)
-                     for name in pattern.arrays()]
-            plan = optimize_layout(pattern, allocation.cover, decls,
-                                   config.modify_range)
-            defaults.append(float(plan.baseline_cost))
-            optimizeds.append(float(plan.cost))
-        rows.append(ArrayLayoutAblationRow(
-            n=n, k=k, n_patterns=len(patterns),
-            mean_default=mean(defaults),
-            mean_optimized=mean(optimizeds),
-            reduction_pct=percent_reduction(mean(defaults),
-                                            mean(optimizeds))))
-    return ArrayLayoutAblationSummary(
-        config, tuple(rows),
-        mean_reduction_pct=mean([row.reduction_pct for row in rows]),
-        elapsed_seconds=time.perf_counter() - started)
+    return run_experiment("arraylayout", config, n_workers=n_workers,
+                          cache=cache, progress=progress)
 
 
 # ======================================================================
@@ -1005,6 +866,19 @@ def run_array_layout_ablation(
 # ======================================================================
 @dataclass(frozen=True)
 class DistributionSensitivityConfig:
+    """Configuration of the distribution sensitivity run (EXP-S3).
+
+    Seeding scheme: distribution ``d`` repeats the EXP-S1 grid with the
+    shared pattern base ``seed`` (pattern families stay paired across
+    distributions -- only the distribution differs) but its own
+    naive-baseline base ``seed + NAIVE_SEED_STRIDE *
+    DISTRIBUTION_SEED_SPAN * (d + 1)`` (constants in
+    :mod:`repro.batch.jobs`), so each repetition draws merge orders
+    independent of every other's.  (An earlier scheme reused the plain
+    base seed, which replayed identical "independent" baseline streams
+    on all four distributions.)
+    """
+
     distributions: tuple[str, ...] = ("uniform", "clustered", "sweep",
                                       "mixed")
     #: Base grid, scaled down per distribution to keep runtime bounded.
@@ -1029,27 +903,48 @@ class DistributionSensitivitySummary:
     config: DistributionSensitivityConfig
     rows: tuple[DistributionSensitivityRow, ...]
     elapsed_seconds: float
+    #: Points computed this run vs served from the result cache.
+    n_points_compiled: int = 0
+    n_points_cached: int = 0
 
 
 def run_distribution_sensitivity(
-        config: DistributionSensitivityConfig | None = None,
-) -> DistributionSensitivitySummary:
+        config: DistributionSensitivityConfig | None = None, *,
+        n_workers: int = 1, cache=None,
+        progress=None) -> DistributionSensitivitySummary:
     """EXP-S3: is the ≈40 % claim an artifact of one offset shape?
 
     Repeats EXP-S1 under every offset distribution of the random
     generator.  The paper does not specify its distribution; a robust
-    reproduction should win under all of them.
+    reproduction should win under all of them.  Every repetition runs
+    through the sharded batch engine (see
+    :func:`run_statistical_comparison`); ``progress`` counts points
+    across all distributions.
     """
+    from repro.batch.jobs import DISTRIBUTION_SEED_SPAN, NAIVE_SEED_STRIDE
+
     if config is None:
         config = DistributionSensitivityConfig()
     started = time.perf_counter()
     rows: list[DistributionSensitivityRow] = []
-    for distribution in config.distributions:
-        summary = run_statistical_comparison(StatisticalConfig(
+    summaries: list[StatisticalSummary] = []
+    for dist_index, distribution in enumerate(config.distributions):
+        stats_config = StatisticalConfig(
             n_values=config.n_values, m_values=config.m_values,
             k_values=config.k_values,
             patterns_per_config=config.patterns_per_config,
-            distribution=distribution, seed=config.seed))
+            distribution=distribution, seed=config.seed,
+            naive_seed_base=config.seed + NAIVE_SEED_STRIDE
+            * DISTRIBUTION_SEED_SPAN * (dist_index + 1))
+        grid_size = len(stats_config.grid())
+        total = grid_size * len(config.distributions)
+        offset = grid_size * dist_index
+        summary = run_statistical_comparison(
+            stats_config, n_workers=n_workers, cache=cache,
+            progress=None if progress is None else
+            (lambda done, _total, result, _offset=offset:
+             progress(_offset + done, total, result)))
+        summaries.append(summary)
         rows.append(DistributionSensitivityRow(
             distribution=distribution,
             average_reduction_pct=summary.average_reduction_pct,
@@ -1059,7 +954,9 @@ def run_distribution_sensitivity(
             mean_naive=mean([row.mean_naive for row in summary.rows]),
         ))
     return DistributionSensitivitySummary(
-        config, tuple(rows), time.perf_counter() - started)
+        config, tuple(rows), time.perf_counter() - started,
+        n_points_compiled=sum(s.n_points_compiled for s in summaries),
+        n_points_cached=sum(s.n_points_cached for s in summaries))
 
 
 def quick_statistical_config() -> StatisticalConfig:

@@ -6,6 +6,9 @@ The scaling layer on top of :func:`repro.core.pipeline.compile_kernel`:
   factories that mass-produce them (suites, kernel lists, random
   families, spec/config matrices), and :class:`StatisticalGridJob`
   (one EXP-S1 grid point as a cacheable work unit);
+* :mod:`repro.batch.registry` -- the experiment registry:
+  :class:`ExperimentDefinition` contracts that let any experiment
+  shard as :class:`ExperimentPointJob` points;
 * :mod:`repro.batch.digest` -- stable content digests that key the
   result cache;
 * :mod:`repro.batch.cache` -- in-memory LRU, on-disk JSON, and sharded
@@ -24,6 +27,13 @@ from repro.batch.cache import (
     open_cache,
 )
 from repro.batch.digest import DIGEST_VERSION, job_digest
+from repro.batch.registry import (
+    ExperimentDefinition,
+    experiment_point_jobs,
+    get_experiment,
+    register_experiment,
+    registered_experiments,
+)
 from repro.batch.engine import (
     BatchCompiler,
     BatchReport,
@@ -33,6 +43,8 @@ from repro.batch.engine import (
 )
 from repro.batch.jobs import (
     BatchJob,
+    ExperimentPointJob,
+    ExperimentPointResult,
     GridPointResult,
     StatisticalGridJob,
     job_matrix,
@@ -49,6 +61,9 @@ __all__ = [
     "CacheBackend",
     "CacheStats",
     "DIGEST_VERSION",
+    "ExperimentDefinition",
+    "ExperimentPointJob",
+    "ExperimentPointResult",
     "GridPointResult",
     "InMemoryLRUCache",
     "JobResult",
@@ -56,6 +71,8 @@ __all__ = [
     "ShardedDirectoryCache",
     "StatisticalGridJob",
     "execute_any",
+    "experiment_point_jobs",
+    "get_experiment",
     "execute_job",
     "job_digest",
     "job_matrix",
@@ -63,5 +80,7 @@ __all__ = [
     "jobs_from_random",
     "jobs_from_suite",
     "naive_baseline_seed",
+    "register_experiment",
+    "registered_experiments",
     "open_cache",
 ]

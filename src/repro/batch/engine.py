@@ -268,7 +268,7 @@ class BatchCompiler:
         for index, job in enumerate(jobs):
             digest = job_digest(job)
             payload = self.cache.get(digest)
-            result = _result_type(job).from_payload(payload, job.name) \
+            result = _result_type(job).from_payload(payload, job) \
                 if payload is not None else None
             if result is not None:
                 slots[index] = result
@@ -325,7 +325,7 @@ class BatchCompiler:
         for index, job in enumerate(jobs):
             digest = job_digest(job)
             payload = self.cache.get(digest)
-            result = _result_type(job).from_payload(payload, job.name) \
+            result = _result_type(job).from_payload(payload, job) \
                 if payload is not None else None
             if result is not None:
                 yield index, result

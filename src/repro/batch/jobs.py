@@ -16,19 +16,23 @@ Factories cover the common batch shapes:
 * :func:`job_matrix` -- the cross product of a job list with an
   ``AguSpec`` x ``AllocatorConfig`` grid, for sweep-style batches.
 
-Besides compilation units, the module defines
-:class:`StatisticalGridJob`: one (N, M, K) grid point of the paper's
-statistical comparison (EXP-S1) as a self-contained, cacheable work
-unit, so the experiment's 45-point grid shards over the same engine,
-process pool, and result caches as kernel suites do.
+Besides compilation units, the module defines two experiment-point job
+types: :class:`StatisticalGridJob` -- one (N, M, K) grid point of the
+paper's statistical comparison (EXP-S1) as a self-contained, cacheable
+work unit -- and the generic :class:`ExperimentPointJob`, which turns
+one point of any experiment registered in
+:mod:`repro.batch.registry` into the same kind of unit.  Both shard
+over the same engine, process pool, and result caches as kernel
+suites do.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import json
 import time
-from dataclasses import dataclass, replace
-from typing import Iterable, Sequence
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable, Sequence
 
 from repro.agu.model import AguSpec
 from repro.batch.digest import DIGEST_VERSION, job_digest
@@ -164,6 +168,18 @@ PATTERN_SEED_STRIDE = 7919
 NAIVE_SEED_STRIDE = 15_485_863
 NAIVE_PATTERN_STRIDE = 104_729
 
+#: EXP-S3 (distribution sensitivity) repeats the EXP-S1 grid once per
+#: offset distribution.  Each repetition keeps the *pattern* streams
+#: paired (same base seed, different distribution) but must draw its
+#: own naive-baseline merge orders: distribution ``d`` uses the base
+#: ``seed + NAIVE_SEED_STRIDE * DISTRIBUTION_SEED_SPAN * (d + 1)``, so
+#: its per-grid-point streams sit ``DISTRIBUTION_SEED_SPAN`` naive
+#: strides apart from every other distribution's (disjoint for grids
+#: of up to ``DISTRIBUTION_SEED_SPAN - 1`` points -- far beyond any
+#: real configuration).  (An earlier scheme reused one base seed, which
+#: made all four distributions replay identical merge-order streams.)
+DISTRIBUTION_SEED_SPAN = 1009
+
 
 def naive_baseline_seed(naive_seed: int, pattern_index: int,
                         repeat: int) -> int:
@@ -186,10 +202,12 @@ class CacheableResult:
         return record
 
     @classmethod
-    def from_payload(cls, payload: dict, name: str):
-        """Rebuild from a cache payload; ``None`` if it is malformed."""
+    def from_payload(cls, payload: dict, job):
+        """Rebuild from a cache payload for ``job``; ``None`` if the
+        payload is malformed.  Display metadata (the name) comes from
+        the job being served, not from whoever stored the entry."""
         try:
-            return cls(**{**payload, "name": name, "from_cache": True})
+            return cls(**{**payload, "name": job.name, "from_cache": True})
         except TypeError:
             return None
 
@@ -313,6 +331,102 @@ class StatisticalGridJob:
             mean_naive=sum(naive_costs) / count,
             sum_optimized=sum(optimized_costs),
             sum_naive=sum(naive_costs),
+            wall_seconds=time.perf_counter() - started)
+
+
+# ----------------------------------------------------------------------
+# Generic experiment points as batch jobs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ExperimentPointResult(CacheableResult):
+    """One experiment point's measurements (picklable, JSON-able).
+
+    The generic twin of :class:`GridPointResult`: what the engine
+    caches and streams for an :class:`ExperimentPointJob`.  ``values``
+    holds whatever the experiment's point function measured, already in
+    JSON-canonical form (dicts, lists, scalars -- see
+    :meth:`ExperimentPointJob.execute`), so a result rebuilt from any
+    cache backend is bit-identical to the freshly computed one.
+    """
+
+    name: str
+    digest: str
+    #: Registry id of the experiment this point belongs to.
+    experiment: str
+    #: Position in the *current* enumeration.  Display metadata, like
+    #: ``name``: excluded from the cache payload and rebuilt from the
+    #: job being served, so a cache hit against a reordered grid never
+    #: replays a stale position.
+    index: int
+    #: The point function's measurements, JSON-canonical.
+    values: dict
+    wall_seconds: float
+    from_cache: bool = False
+
+    def payload(self) -> dict:
+        record = super().payload()
+        del record["name"]
+        del record["index"]
+        return record
+
+    @classmethod
+    def from_payload(cls, payload: dict, job):
+        try:
+            return cls(**{**payload, "name": job.name, "index": job.index,
+                          "from_cache": True})
+        except TypeError:
+            return None
+
+
+@dataclass(frozen=True)
+class ExperimentPointJob:
+    """One point of a registered experiment as a cacheable batch job.
+
+    Self-contained and picklable: ``experiment`` names an
+    :class:`~repro.batch.registry.ExperimentDefinition` (resolved at
+    execution time, so the job itself stays a plain data record across
+    process boundaries) and ``params`` carries everything that point's
+    outcome depends on -- grid coordinates, derived seeds, and
+    allocator/solver settings, all JSON-able.  The content digest
+    covers the experiment id and the params; ``name`` and ``index`` are
+    display/ordering metadata and deliberately excluded, so relabeled
+    or re-enumerated points keep hitting the same cache entries.
+    """
+
+    name: str
+    experiment: str
+    index: int
+    params: dict = field(default_factory=dict)
+
+    result_type = ExperimentPointResult
+
+    def cache_key(self) -> dict:
+        """The digest payload: experiment id + point parameters."""
+        return {"v": DIGEST_VERSION,
+                "experiment": f"exp-point/{self.experiment}",
+                "params": self.params}
+
+    def execute(self) -> ExperimentPointResult:
+        """Run this point on the calling process.
+
+        The measured values are canonicalized through a JSON round
+        trip, so the cold path hands back exactly what a cache hit
+        would (a point function returning anything JSON cannot encode
+        fails loudly here instead of corrupting the cache).
+        """
+        from repro.batch.registry import get_experiment
+
+        started = time.perf_counter()
+        definition = get_experiment(self.experiment)
+        values: Any = definition.run_point(dict(self.params))
+        values = json.loads(json.dumps(values, sort_keys=True))
+        if not isinstance(values, dict):
+            raise BatchError(
+                f"experiment {self.experiment!r}: point function must "
+                f"return a dict of values, got {type(values).__name__}")
+        return ExperimentPointResult(
+            name=self.name, digest=job_digest(self),
+            experiment=self.experiment, index=self.index, values=values,
             wall_seconds=time.perf_counter() - started)
 
 

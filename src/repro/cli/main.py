@@ -19,6 +19,11 @@ stats
     Run the EXP-S1 statistical grid sharded through the batch engine,
     with live streaming progress, worker fan-out, and a persistent
     (optionally shared) grid-point cache.
+ablate
+    Run any registered ablation experiment (EXP-A1..A3, EXP-O1,
+    EXP-X1..X3) sharded through the batch engine: per-point streaming
+    progress, grid overrides (``--set``), persistent point caches, and
+    zero-recompile cached re-runs.
 """
 
 from __future__ import annotations
@@ -33,24 +38,10 @@ from repro.agu.model import PRESETS, AguSpec
 from repro.analysis import reports
 from repro.analysis import render
 from repro.analysis.experiments import (
-    ArrayLayoutAblationConfig,
-    CostModelAblationConfig,
     KernelComparisonConfig,
-    MergingAblationConfig,
-    ModRegAblationConfig,
-    OffsetComparisonConfig,
-    PathCoverAblationConfig,
-    ReorderAblationConfig,
     StatisticalConfig,
     quick_statistical_config,
-    run_array_layout_ablation,
-    run_cost_model_ablation,
     run_kernel_comparison,
-    run_merging_ablation,
-    run_modreg_ablation,
-    run_offset_comparison,
-    run_path_cover_ablation,
-    run_reorder_ablation,
     run_statistical_comparison,
 )
 from repro.core.pipeline import compile_kernel
@@ -308,11 +299,102 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
-_EXPERIMENTS = ("stats", "kernels", "pathcover", "costmodel", "merging",
-                "offset", "modreg", "reorder", "arraylayout")
+def _convert_override(current, text: str):
+    """Convert an ``--set`` value to the type of the field's current
+    value (configs are frozen dataclasses with fully typed defaults)."""
+    from enum import Enum
+
+    if isinstance(current, bool):
+        return text.lower() in ("1", "true", "yes", "on")
+    if isinstance(current, Enum):
+        return type(current)(text)
+    if isinstance(current, int):
+        return int(text)
+    if isinstance(current, float):
+        return float(text)
+    if isinstance(current, tuple):
+        element = current[0] if current else 0
+        cast = str if isinstance(element, str) else \
+            float if isinstance(element, float) else int
+        return tuple(cast(part) for part in text.split(",")
+                     if part.strip())
+    if current is None:
+        return int(text)
+    return text
+
+
+def _apply_overrides(config, assignments):
+    """Apply ``field=value`` grid overrides to a config dataclass."""
+    names = {field.name for field in dataclasses.fields(config)}
+    overrides = {}
+    for assignment in assignments:
+        key, sep, text = assignment.partition("=")
+        if not sep:
+            raise ReproError(
+                f"override {assignment!r} is not of the form "
+                f"field=value")
+        if key not in names:
+            raise ReproError(
+                f"unknown config field {key!r} (available: "
+                f"{', '.join(sorted(names))})")
+        try:
+            overrides[key] = _convert_override(getattr(config, key), text)
+        except ValueError:
+            raise ReproError(
+                f"invalid value {text!r} for config field {key!r}")
+    return dataclasses.replace(config, **overrides)
+
+
+def _cmd_ablate(args: argparse.Namespace) -> int:
+    from repro.analysis.experiments import run_experiment
+    from repro.batch.cache import open_cache
+    from repro.batch.registry import get_experiment
+
+    definition = get_experiment(args.which)
+    config = definition.quick_config() if args.quick \
+        else definition.default_config()
+    if args.set:
+        config = _apply_overrides(config, args.set)
+
+    def progress(done: int, total: int, result) -> None:
+        state = "cached" if result.from_cache \
+            else f"{1000 * result.wall_seconds:.0f} ms"
+        print(f"[{done}/{total}] {result.name} [{state}]", flush=True)
+
+    summary = run_experiment(
+        args.which, config, n_workers=args.workers,
+        cache=open_cache(args.cache) if args.cache else None,
+        progress=None if args.no_progress else progress)
+
+    print()
+    if definition.render is not None:
+        for table in definition.render(summary):
+            print(table.render())
+    if definition.headline is not None:
+        print(definition.headline(summary))
+    n_points = summary.n_points_compiled + summary.n_points_cached
+    print(f"{n_points} point(s): "
+          f"{summary.n_points_compiled} compiled, "
+          f"{summary.n_points_cached} cache hit(s); "
+          f"{summary.elapsed_seconds:.3f} s on {args.workers} worker(s)")
+    if args.json:
+        path = reports.save_report(summary, args.json)
+        print(f"(report saved to {path})")
+    return 0
+
+
+def _experiment_choices() -> tuple[str, ...]:
+    """`experiment` subcommand ids: the two engine-native experiments
+    plus whatever the registry holds (a newly registered experiment
+    appears here and under `ablate` automatically)."""
+    from repro.batch.registry import registered_experiments
+
+    return ("stats", "kernels") + registered_experiments()
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
+    from repro.batch.registry import registered_experiments
+
     tables = []
     if args.which == "stats":
         config = quick_statistical_config() if args.quick \
@@ -332,42 +414,20 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
                     f"{summary.mean_overhead_reduction_pct:.1f} %, mean "
                     f"speed improvement "
                     f"{summary.mean_speed_improvement_pct:.1f} %")
-    elif args.which == "pathcover":
-        summary = run_path_cover_ablation(PathCoverAblationConfig())
-        tables.append(render.path_cover_table(summary))
-        headline = ""
-    elif args.which == "costmodel":
-        summary = run_cost_model_ablation(CostModelAblationConfig())
-        tables.append(render.cost_model_table(summary))
-        headline = (f"mean steady-state saving from wrap-aware merging: "
-                    f"{summary.mean_penalty_pct:.1f} %")
-    elif args.which == "merging":
-        summary = run_merging_ablation(MergingAblationConfig())
-        tables.append(render.merging_table(summary))
-        headline = ""
-    elif args.which == "offset":
-        summary = run_offset_comparison(OffsetComparisonConfig())
-        tables.append(render.offset_soa_table(summary))
-        tables.append(render.offset_goa_table(summary))
-        headline = (f"mean SOA reduction vs OFU: Liao "
-                    f"{summary.mean_liao_reduction_pct:.1f} %, tie-break "
-                    f"{summary.mean_tiebreak_reduction_pct:.1f} %")
-    elif args.which == "modreg":
-        summary = run_modreg_ablation(ModRegAblationConfig())
-        tables.append(render.modreg_table(summary))
-        headline = "(extension: not part of the original paper)"
-    elif args.which == "reorder":
-        summary = run_reorder_ablation(ReorderAblationConfig())
-        tables.append(render.reorder_table(summary))
-        headline = (f"mean reduction from reordering: "
-                    f"{summary.mean_reduction_pct:.1f} % "
-                    f"(extension: not part of the original paper)")
-    elif args.which == "arraylayout":
-        summary = run_array_layout_ablation(ArrayLayoutAblationConfig())
-        tables.append(render.array_layout_table(summary))
-        headline = (f"mean reduction from array placement: "
-                    f"{summary.mean_reduction_pct:.1f} % "
-                    f"(extension: not part of the original paper)")
+    elif args.which in registered_experiments():
+        # The registry is the single source of presentation truth for
+        # the per-point ablations ('ablate' and 'experiment' agree).
+        from repro.analysis.experiments import run_experiment
+        from repro.batch.registry import get_experiment
+
+        definition = get_experiment(args.which)
+        config = definition.quick_config() if args.quick \
+            else definition.default_config()
+        summary = run_experiment(args.which, config)
+        if definition.render is not None:
+            tables.extend(definition.render(summary))
+        headline = definition.headline(summary) \
+            if definition.headline is not None else ""
     else:  # pragma: no cover - argparse restricts choices
         raise ReproError(f"unknown experiment {args.which!r}")
 
@@ -423,9 +483,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     experiment_parser = commands.add_parser(
         "experiment", help="run one of the paper's experiments")
-    experiment_parser.add_argument("which", choices=_EXPERIMENTS)
+    experiment_parser.add_argument("which",
+                                   choices=_experiment_choices())
     experiment_parser.add_argument("--quick", action="store_true",
-                                   help="scaled-down grid (stats only)")
+                                   help="scaled-down grid (stats and the "
+                                        "registered ablations)")
     experiment_parser.add_argument("--json", default=None,
                                    help="also save the summary as JSON")
     experiment_parser.set_defaults(func=_cmd_experiment)
@@ -494,6 +556,37 @@ def build_parser() -> argparse.ArgumentParser:
     stats_parser.add_argument("--json", default=None,
                               help="also save the summary as JSON")
     stats_parser.set_defaults(func=_cmd_stats)
+
+    from repro.batch.registry import get_experiment, registered_experiments
+
+    ablate_parser = commands.add_parser(
+        "ablate", help="run a registered ablation experiment sharded "
+                       "through the batch engine")
+    ablate_parser.add_argument(
+        "which", choices=registered_experiments(),
+        help="experiment id; descriptions: " + "; ".join(
+            f"{name} = {get_experiment(name).title}"
+            for name in registered_experiments()))
+    ablate_parser.add_argument("--quick", action="store_true",
+                               help="scaled-down grid for smokes and CI")
+    ablate_parser.add_argument("--set", action="append", default=[],
+                               metavar="FIELD=VALUE",
+                               help="override a config field (repeatable; "
+                                    "grid axes take comma-separated "
+                                    "values, e.g. --set n_values=8,12)")
+    ablate_parser.add_argument("-j", "--workers", type=int, default=1,
+                               help="process-pool width (default 1: "
+                                    "compute inline)")
+    ablate_parser.add_argument("--cache", default=None,
+                               help="point cache: PATH.json (single JSON "
+                                    "store) or a directory (sharded "
+                                    "store, shareable across hosts); "
+                                    "re-runs skip solved points")
+    ablate_parser.add_argument("--no-progress", action="store_true",
+                               help="suppress per-point streaming output")
+    ablate_parser.add_argument("--json", default=None,
+                               help="also save the summary as JSON")
+    ablate_parser.set_defaults(func=_cmd_ablate)
 
     verify_parser = commands.add_parser(
         "verify", help="compile a kernel and fail on any audit mismatch")

@@ -1,0 +1,61 @@
+"""Shared helpers of the experiment-sharding differential suite.
+
+Used by ``tests/test_experiment_sharding.py`` and by the one-off
+capture of ``tests/golden/experiment_goldens.json``, so both sides
+normalize summaries the same way.  The goldens snapshot the retired
+*sequential* loops immediately before the sharding migration -- i.e.
+with this PR's seed-audit fixes (EXP-A3's naive-baseline seeding)
+already applied -- so they prove sharding changed nothing, not that
+behavior matches pre-fix releases (see the provenance caveat in the
+test module).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+#: Wall-clock measurements: meaningful within one run, never
+#: bit-reproducible across runs.
+TIMING_KEYS = frozenset({
+    "elapsed_seconds", "wall_seconds", "mean_exact_ms", "mean_greedy_ms",
+})
+
+#: Cache-state accounting: varies between cold and warm runs.
+CACHE_STATE_KEYS = frozenset({"n_points_compiled", "n_points_cached"})
+
+
+def normalize_summary(summary: Any, *,
+                      keep_point_timings: bool = False) -> dict:
+    """An experiment summary as a JSON-canonical comparison key.
+
+    Drops the config (an input, not a result), the cache-state
+    counters, and -- unless ``keep_point_timings`` -- zeroes every
+    wall-clock field, then round-trips through JSON so numeric types
+    compare the way cached payloads do.  Two summaries are bit-identical
+    exactly when their normalized forms are equal.
+    """
+    record = dataclasses.asdict(summary)
+    record.pop("config", None)
+    for key in CACHE_STATE_KEYS | {"elapsed_seconds"}:
+        record.pop(key, None)
+
+    def scrub(value: Any) -> Any:
+        if isinstance(value, dict):
+            return {key: 0.0
+                    if key in TIMING_KEYS and not keep_point_timings
+                    else scrub(item) for key, item in value.items()}
+        if isinstance(value, (list, tuple)):
+            return [scrub(item) for item in value]
+        return value
+
+    return json.loads(json.dumps(scrub(record), sort_keys=True))
+
+
+def config_from_kwargs(config_type: type, kwargs: dict) -> Any:
+    """Rebuild a frozen config dataclass from JSON-stored kwargs
+    (JSON has no tuples; grid axes come back as lists)."""
+    return config_type(**{
+        key: tuple(value) if isinstance(value, list) else value
+        for key, value in kwargs.items()})

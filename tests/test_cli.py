@@ -167,6 +167,96 @@ class TestStats:
         assert "8 grid point(s): 8 compiled" in out
 
 
+class TestAblate:
+    TINY = ["ablate", "pathcover", "--set", "n_values=8,12",
+            "--set", "m_values=1", "--set", "patterns_per_config=3"]
+
+    def test_tiny_grid_streams_and_summarizes(self, capsys):
+        assert main(self.TINY) == 0
+        out = capsys.readouterr().out
+        assert "[1/2]" in out and "[2/2]" in out
+        assert "EXP-A1" in out
+        assert "2 point(s): 2 compiled, 0 cache hit(s)" in out
+
+    def test_no_progress_suppresses_streaming_lines(self, capsys):
+        assert main([*self.TINY, "--no-progress"]) == 0
+        out = capsys.readouterr().out
+        assert "[1/2]" not in out
+        assert "EXP-A1" in out
+
+    def test_cached_rerun_recomputes_nothing(self, tmp_path, capsys):
+        cache = str(tmp_path / "point-cache")
+        assert main([*self.TINY, "--cache", cache]) == 0
+        capsys.readouterr()
+        assert main([*self.TINY, "--cache", cache, "--workers",
+                     "2"]) == 0
+        out = capsys.readouterr().out
+        assert "0 compiled, 2 cache hit(s)" in out
+        assert "[cached]" in out
+
+    def test_quick_flag_uses_scaled_down_grid(self, capsys):
+        assert main(["ablate", "reorder", "--quick", "--set",
+                     "patterns_per_config=3", "--no-progress"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-X2" in out
+        assert "2 point(s): 2 compiled" in out
+
+    def test_headline_and_tables_render(self, capsys):
+        assert main(["ablate", "offset", "--quick", "--set",
+                     "sequences_per_config=3", "--no-progress"]) == 0
+        out = capsys.readouterr().out
+        assert "EXP-O1a" in out and "EXP-O1b" in out
+        assert "mean SOA reduction vs OFU" in out
+
+    def test_json_report(self, tmp_path, capsys):
+        target = tmp_path / "ablate.json"
+        assert main([*self.TINY, "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert len(payload["rows"]) == 2
+        assert payload["n_points_compiled"] == 2
+
+    def test_enum_override_round_trips(self, capsys):
+        assert main(["ablate", "merging", "--quick", "--set",
+                     "patterns_per_config=2", "--set",
+                     "cost_model=intra", "--no-progress"]) == 0
+        assert "EXP-A3" in capsys.readouterr().out
+
+    def test_unknown_field_fails_cleanly(self, capsys):
+        assert main(["ablate", "pathcover", "--set", "bogus=1"]) == 1
+        assert "unknown config field" in capsys.readouterr().err
+
+    def test_malformed_override_fails_cleanly(self, capsys):
+        assert main(["ablate", "pathcover", "--set", "n_values"]) == 1
+        assert "field=value" in capsys.readouterr().err
+
+    def test_bad_value_fails_cleanly(self, capsys):
+        assert main(["ablate", "pathcover", "--set",
+                     "patterns_per_config=lots"]) == 1
+        assert "invalid value" in capsys.readouterr().err
+
+    def test_empty_grid_fails_cleanly(self, capsys):
+        assert main(["ablate", "pathcover", "--set", "n_values="]) == 1
+        assert "zero points" in capsys.readouterr().err
+
+    def test_zero_patterns_fails_cleanly(self, capsys):
+        assert main(["ablate", "pathcover", "--set",
+                     "patterns_per_config=0"]) == 1
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_experiment_subcommand_delegates_to_registry(self, capsys):
+        """`experiment <id> --quick` and `ablate <id> --quick` render
+        the same tables and headline for registered ablations."""
+        assert main(["experiment", "reorder", "--quick"]) == 0
+        via_experiment = capsys.readouterr().out
+        assert main(["ablate", "reorder", "--quick",
+                     "--no-progress"]) == 0
+        via_ablate = capsys.readouterr().out
+        assert "EXP-X2" in via_experiment
+        assert "mean reduction from reordering" in via_experiment
+        table_and_headline = via_experiment.strip().splitlines()
+        assert all(line in via_ablate for line in table_and_headline)
+
+
 class TestExperiment:
     def test_quick_stats_with_json(self, tmp_path, capsys):
         target = tmp_path / "stats.json"
