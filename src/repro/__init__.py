@@ -34,14 +34,18 @@ from repro.batch import (
     BatchCompiler,
     BatchJob,
     BatchReport,
+    CacheServer,
     InMemoryLRUCache,
     JobResult,
     JsonFileCache,
+    RemoteCache,
+    ShardedDirectoryCache,
     job_digest,
     job_matrix,
     jobs_from_kernels,
     jobs_from_random,
     jobs_from_suite,
+    open_cache,
 )
 from repro.core import (
     AddressRegisterAllocator,
@@ -104,6 +108,7 @@ __all__ = [
     "BatchCompiler",
     "BatchJob",
     "BatchReport",
+    "CacheServer",
     "CompilationArtifacts",
     "CostModel",
     "InMemoryLRUCache",
@@ -117,6 +122,8 @@ __all__ = [
     "Path",
     "PathCover",
     "RandomPatternConfig",
+    "RemoteCache",
+    "ShardedDirectoryCache",
     "SimulationResult",
     "allocate_with_modify_registers",
     "best_pair_merge",
@@ -136,6 +143,7 @@ __all__ = [
     "loop_from_offsets",
     "minimum_zero_cost_cover",
     "naive_merge",
+    "open_cache",
     "optimal_allocation",
     "parse_kernel",
     "parse_trace",

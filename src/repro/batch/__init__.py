@@ -13,6 +13,10 @@ The scaling layer on top of :func:`repro.core.pipeline.compile_kernel`:
   result cache;
 * :mod:`repro.batch.cache` -- in-memory LRU, on-disk JSON, and sharded
   multi-host directory stores behind one backend protocol;
+* :mod:`repro.batch.service` -- the remote cache service:
+  :class:`CacheServer` fronts any store over TCP (the ``repro-agu
+  cache-serve`` subcommand) and :class:`RemoteCache` is the matching
+  ``tcp://host:port`` client backend;
 * :mod:`repro.batch.engine` -- :class:`BatchCompiler` (process-pool
   fan-out, cache orchestration, streaming ``as_completed``/
   ``run_iter`` delivery) and the aggregated :class:`BatchReport`.
@@ -41,6 +45,7 @@ from repro.batch.engine import (
     execute_any,
     execute_job,
 )
+from repro.batch.service import CacheServer, RemoteCache
 from repro.batch.jobs import (
     BatchJob,
     ExperimentPointJob,
@@ -59,6 +64,7 @@ __all__ = [
     "BatchJob",
     "BatchReport",
     "CacheBackend",
+    "CacheServer",
     "CacheStats",
     "DIGEST_VERSION",
     "ExperimentDefinition",
@@ -68,6 +74,7 @@ __all__ = [
     "InMemoryLRUCache",
     "JobResult",
     "JsonFileCache",
+    "RemoteCache",
     "ShardedDirectoryCache",
     "StatisticalGridJob",
     "execute_any",

@@ -26,7 +26,17 @@ copies*: mutating a payload after ``put`` or a dict returned by
 ``get`` never reaches the cached state.
 
 :func:`open_cache` maps a CLI-style spec string (``mem``,
-``json:PATH``, ``dir:PATH``, or a bare path) to a backend.
+``json:PATH``, ``dir:PATH``, ``tcp://HOST:PORT``, or a bare path) to a
+backend.  Only *known* schemes are treated as schemes, so bare paths
+containing a colon (``C:\\cache``, ``./odd:name``) open as paths.
+
+Stats accounting is uniform across backends: every ``get`` counts
+exactly one hit or one miss (``hits + misses == lookups``), every
+entry actually persisted counts one store (``put_many`` counts per
+entry, not per call), and a corrupt or unreadable on-disk entry counts
+a miss instead of raising into the batch -- provably corrupt entries
+are additionally removed so the recompiled result can take their
+place (transient read errors are not, to protect shared stores).
 """
 
 from __future__ import annotations
@@ -73,7 +83,8 @@ class CacheBackend(Protocol):
 
     Any object with these two methods (plus a ``stats`` attribute for
     reporting) plugs into :class:`~repro.batch.engine.BatchCompiler`;
-    ``put_many`` is optional and only an optimization.
+    ``put_many(entries)`` and ``get_many(digests) -> dict`` are
+    optional batching optimizations the engine prefers when present.
     """
 
     def get(self, digest: str) -> dict | None: ...
@@ -138,6 +149,11 @@ class InMemoryLRUCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
+    def put_many(self, entries: dict[str, dict]) -> None:
+        """Store a batch; counts one store per entry, like every backend."""
+        for digest, payload in entries.items():
+            self.put(digest, payload)
+
 
 class JsonFileCache:
     """A persistent result cache backed by one JSON file.
@@ -147,20 +163,30 @@ class JsonFileCache:
     of entries) and keeps concurrent readers consistent.
     """
 
-    def __init__(self, path: str | Path):
+    def __init__(self, path: str | Path, *,
+                 entries: dict[str, dict] | None = None):
         self.path = Path(path)
         self.stats = CacheStats()
-        self._entries: dict[str, dict] = self._load()
+        # ``entries``: pre-parsed store content (open_cache's
+        # existing-file adoption path), so the file is not read and
+        # parsed a second time.  Same per-entry salvage as _load.
+        self._entries: dict[str, dict] = self._load() \
+            if entries is None else {
+                digest: value for digest, value in entries.items()
+                if isinstance(value, dict)}
 
     def _load(self) -> dict[str, dict]:
         try:
             raw = json.loads(self.path.read_text())
         except (OSError, ValueError):
             return {}
-        if not isinstance(raw, dict) or not all(
-                isinstance(value, dict) for value in raw.values()):
+        if not isinstance(raw, dict):
             return {}
-        return raw
+        # Per-entry salvage: one corrupt value (a crashed writer, a
+        # hand-edited store) must cost that entry a recompile, not the
+        # whole store.
+        return {digest: value for digest, value in raw.items()
+                if isinstance(value, dict)}
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -209,9 +235,15 @@ class ShardedDirectoryCache:
     misses and are recompiled.
     """
 
-    def __init__(self, root: str | Path):
+    def __init__(self, root: str | Path, *,
+                 discard_corrupt: bool = True):
         self.root = Path(root)
         self.stats = CacheStats()
+        #: Whether a provably corrupt entry found by ``get`` is
+        #: unlinked so the recompiled result can take its place.  A
+        #: read-only server turns this off: serving must then never
+        #: write to the store at all.
+        self.discard_corrupt = discard_corrupt
 
     def _entry_path(self, digest: str) -> Path:
         name = digest if _FILENAME_SAFE.fullmatch(digest) else \
@@ -222,24 +254,171 @@ class ShardedDirectoryCache:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
     def get(self, digest: str) -> dict | None:
+        path = self._entry_path(digest)
         try:
-            payload = json.loads(self._entry_path(digest).read_text())
-        except (OSError, ValueError):
+            payload = json.loads(path.read_text())
+        except OSError:
+            # Missing or unreadable: a miss, but never a discard -- a
+            # transient EIO/ESTALE on a shared mount must not destroy
+            # another host's perfectly good entry.
+            self.stats.misses += 1
+            return None
+        except ValueError:
+            # Provably corrupt content (atomic renames guarantee full
+            # writes, so this is real damage, not a torn write):
+            # discard it so the recompiled result can take its place.
+            if self.discard_corrupt:
+                self._discard(path)
             self.stats.misses += 1
             return None
         if not isinstance(payload, dict):
+            if self.discard_corrupt:
+                self._discard(path)
             self.stats.misses += 1
             return None
         self.stats.hits += 1
         return payload
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        """Remove a corrupt entry -- after re-checking that it still
+        *is* corrupt, so a concurrent writer's fresh atomic rename onto
+        the same path is (almost) never the thing unlinked.  The re-read
+        narrows the race to unlink-after-verify; losing that one costs a
+        recompile, never a wrong result."""
+        try:
+            payload = json.loads(path.read_text())
+        except OSError:
+            return
+        except ValueError:
+            payload = None
+        if isinstance(payload, dict):
+            return
+        try:
+            path.unlink()
+        except OSError:
+            pass
 
     def put(self, digest: str, payload: dict) -> None:
         _atomic_write_json(self._entry_path(digest), payload)
         self.stats.stores += 1
 
     def put_many(self, entries: dict[str, dict]) -> None:
+        """Store a batch; counts one store per entry via :meth:`put`."""
         for digest, payload in entries.items():
             self.put(digest, payload)
+
+
+#: The spec schemes :func:`open_cache` understands.  Matching is
+#: restricted to this set on purpose: a bare path that happens to
+#: contain a colon (``C:\cache``, ``./odd:name``) must open as a path,
+#: not be misparsed as a scheme-prefixed spec.
+KNOWN_CACHE_SCHEMES = ("mem", "json", "dir", "tcp")
+
+#: Anything shaped like ``scheme://...``; used only to *reject* unknown
+#: schemes loudly (a typo like ``redis://...`` should not silently
+#: become a directory store named "redis:").
+_URL_LIKE = re.compile(r"^(?P<scheme>[A-Za-z][A-Za-z0-9+.-]*)://")
+
+#: ``?key=value`` options ``tcp://`` specs may carry, mapped to
+#: :class:`~repro.batch.service.RemoteCache` constructor arguments.
+_TCP_OPTIONS = {"timeout": float, "retry_interval": float,
+                "batch_size": int}
+
+
+def _open_remote(text: str) -> CacheBackend:
+    """``tcp://HOST:PORT[?options]`` -> a connected-on-demand client.
+
+    :func:`~urllib.parse.urlsplit` does the URL work (bracketed IPv6
+    hosts, port validation); only the option allowlist is bespoke.
+    """
+    from urllib.parse import parse_qsl, urlsplit
+
+    from repro.batch.service import RemoteCache
+
+    expected = (f"expected tcp://HOST:PORT"
+                f"[?{'&'.join(sorted(_TCP_OPTIONS))}]")
+    try:
+        parts = urlsplit(text)
+        port = parts.port
+    except ValueError as error:
+        raise BatchError(
+            f"invalid remote cache spec {text!r} ({error}); {expected}")
+    if port is None or parts.path or parts.fragment \
+            or parts.username is not None:
+        raise BatchError(
+            f"invalid remote cache spec {text!r}; {expected}")
+    try:
+        pairs = parse_qsl(parts.query, keep_blank_values=True,
+                          strict_parsing=True) if parts.query else []
+    except ValueError:
+        raise BatchError(
+            f"invalid options in remote cache spec {text!r}; "
+            f"{expected}")
+    options: dict = {}
+    for key, value in pairs:
+        convert = _TCP_OPTIONS.get(key)
+        if convert is None:
+            raise BatchError(
+                f"unknown option {key!r} in remote cache spec "
+                f"{text!r} (known: {', '.join(sorted(_TCP_OPTIONS))})")
+        try:
+            options[key] = convert(value)
+        except ValueError:
+            raise BatchError(
+                f"invalid value for {key!r} in remote cache spec "
+                f"{text!r}")
+    return RemoteCache(parts.hostname or "127.0.0.1", port, **options)
+
+
+def _open_file_store(path: Path, text: str, *,
+                     salvage_corrupt: bool) -> JsonFileCache:
+    """Open a bare-path single-file store, refusing to adopt a file
+    that is provably someone else's data.
+
+    A store is a JSON object whose values are all payload objects;
+    anything that parses to something else -- a list, a scalar, or an
+    object with scalar values like a ``package.json`` -- is refused
+    rather than silently rewritten on the first ``put``.  That
+    deliberately also refuses a *store* whose file grew non-dict
+    values (hand edits): the two are indistinguishable, data loss is
+    the worse failure, and the error points at the ``json:PATH``
+    escape hatch, which skips this check and salvages per entry.
+    Unparseable content is a corrupt store only for ``.json``-suffixed
+    paths (``salvage_corrupt``, the documented degrade-to-empty
+    behavior); for suffix-less files it is refused too.  The single
+    read+parse here is handed to the store, so an adopted file is not
+    parsed twice per open.
+    """
+    try:
+        raw = path.read_text()
+    except FileNotFoundError:
+        return JsonFileCache(text)  # the common new-store case
+    except OSError as error:
+        # Exists but unreadable (permissions, I/O error): adopting it
+        # would let the first put rename cache JSON over data we could
+        # not even inspect.
+        raise BatchError(
+            f"cache spec {text!r} is an existing file that cannot be "
+            f"read ({error}); refusing to touch it")
+    try:
+        existing = json.loads(raw)
+    except ValueError:
+        if salvage_corrupt:
+            return JsonFileCache(text)
+        raise _refuse_overwrite(text)
+    if isinstance(existing, dict) and all(
+            isinstance(value, dict) for value in existing.values()):
+        return JsonFileCache(text, entries=existing)
+    raise _refuse_overwrite(text)
+
+
+def _refuse_overwrite(text: str) -> BatchError:
+    return BatchError(
+        f"cache spec {text!r} is an existing file that does not look "
+        f"like a JSON store; refusing to touch it (if it really is "
+        f"one -- e.g. a store with damaged entries -- pass "
+        f"json:{text} to open it anyway with per-entry salvage)")
 
 
 def open_cache(spec: str | Path) -> CacheBackend:
@@ -249,11 +428,38 @@ def open_cache(spec: str | Path) -> CacheBackend:
     * ``json:PATH``, or any path ending in ``.json`` -- single-file
       :class:`JsonFileCache`;
     * ``dir:PATH``, or any other path -- :class:`ShardedDirectoryCache`
-      (the multi-host choice).
+      (the shared-filesystem choice);
+    * ``tcp://HOST:PORT`` -- a :class:`~repro.batch.service.RemoteCache`
+      client against a running ``repro-agu cache-serve`` (the
+      multi-process / multi-host choice).
+
+    Only the schemes above are treated as schemes; any other spec is a
+    bare path, even when it contains a colon.  An unknown
+    ``scheme://...`` spec is rejected loudly instead of being opened as
+    an oddly named directory store.
     """
     text = str(spec)
     if text == "mem":
         return InMemoryLRUCache()
+    # URL-style specs first: only tcp:// is a URL.  This also catches
+    # URL-style typos of the *known* schemes (json://PATH would
+    # otherwise slip through the json: prefix check below and open a
+    # store at //PATH -- the filesystem root).
+    match = _URL_LIKE.match(text)
+    if match is not None:
+        scheme = match["scheme"].lower()
+        if scheme == "tcp":
+            return _open_remote(text)
+        if scheme in KNOWN_CACHE_SCHEMES:
+            raise BatchError(
+                f"malformed cache spec {text!r}: {scheme} specs use "
+                f"the single-colon form ({scheme}:...); only tcp:// "
+                f"is a URL")
+        raise BatchError(
+            f"unknown cache scheme {match['scheme']!r} in spec "
+            f"{text!r} (known schemes: "
+            f"{', '.join(KNOWN_CACHE_SCHEMES)}; bare paths need no "
+            f"scheme)")
     if text.startswith("mem:"):
         try:
             capacity = int(text[len("mem:"):])
@@ -264,6 +470,17 @@ def open_cache(spec: str | Path) -> CacheBackend:
         return JsonFileCache(text[len("json:"):])
     if text.startswith("dir:"):
         return ShardedDirectoryCache(text[len("dir:"):])
+    if text.startswith("tcp:"):
+        return _open_remote(text)
+    # Bare path heuristics.  A ``.json`` suffix means a single-file
+    # store; an existing file *without* the suffix opens as one only
+    # if it already is one (e.g. written before the suffix
+    # convention).  Either way an existing file that is provably not a
+    # store -- someone's data -- is refused rather than overwritten
+    # (see _open_file_store).  Everything else is a sharded directory.
+    path = Path(text)
     if text.endswith(".json"):
-        return JsonFileCache(text)
+        return _open_file_store(path, text, salvage_corrupt=True)
+    if path.is_file():
+        return _open_file_store(path, text, salvage_corrupt=False)
     return ShardedDirectoryCache(text)

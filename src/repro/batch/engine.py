@@ -32,10 +32,14 @@ offers the ``execute()``/``payload()`` protocol -- compilation units
 
 from __future__ import annotations
 
+import copy
 import dataclasses
+import logging
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import as_completed as _futures_as_completed
+from concurrent.futures.process import BrokenProcessPool \
+    as _BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Iterable, Iterator, Sequence
 
@@ -51,6 +55,8 @@ from repro.core.pipeline import (
     compile_kernel,
 )
 from repro.errors import BatchError
+
+_LOGGER = logging.getLogger("repro.batch.engine")
 
 
 @dataclass(frozen=True)
@@ -141,6 +147,29 @@ def execute_any(job) -> Any:
 def _result_type(job) -> type:
     """The result class a job's cache payloads rebuild into."""
     return getattr(job, "result_type", JobResult)
+
+
+def _job_failure(job, digest: str, error: Exception) -> BatchError:
+    """A :class:`BatchError` naming the batch job whose execution
+    failed (``raise ... from error`` at the call site keeps the
+    original traceback).
+
+    A died process pool surfaces here too, via the
+    ``BrokenProcessPool`` its victim futures all carry -- but the pool
+    cannot say *which* in-flight job killed the worker, so that
+    message names the job only as "in flight" rather than blaming it.
+    """
+    name = getattr(job, "name", None) or "<unnamed>"
+    if isinstance(error, _BrokenProcessPool):
+        return BatchError(
+            f"worker process pool died with batch job {name!r} "
+            f"(digest {digest}) in flight -- the crash may belong to "
+            f"any job running at the time: {error}",
+            job_name=name, digest=digest)
+    return BatchError(
+        f"batch job {name!r} (digest {digest}) failed: "
+        f"{type(error).__name__}: {error}",
+        job_name=name, digest=digest)
 
 
 @dataclass(frozen=True)
@@ -255,6 +284,41 @@ class BatchCompiler:
         self.cache = cache if cache is not None else InMemoryLRUCache()
         self.n_workers = n_workers
 
+    def _scan(self, jobs: Sequence) -> list[tuple[str, Any]]:
+        """Per-job ``(digest, cached result | None)``, the batch's
+        initial cache pass.
+
+        Backends offering ``get_many`` (the remote client) answer the
+        whole scan in one batched lookup round rather than one round
+        trip per job; the rest are probed digest by digest.
+        Duplicate digests are looked up once -- later slots get a
+        defensive copy, matching the per-``get`` copy semantics of the
+        local stores.
+        """
+        digests = [job_digest(job) for job in jobs]
+        unique = list(dict.fromkeys(digests))
+        fetch_many = getattr(self.cache, "get_many", None)
+        if fetch_many is not None:
+            payloads = dict(fetch_many(unique))
+        else:
+            payloads = {}
+            for digest in unique:
+                payload = self.cache.get(digest)
+                if payload is not None:
+                    payloads[digest] = payload
+        scanned: list[tuple[str, Any]] = []
+        served: set[str] = set()
+        for job, digest in zip(jobs, digests):
+            payload = payloads.get(digest)
+            if payload is not None and digest in served:
+                payload = copy.deepcopy(payload)
+            result = _result_type(job).from_payload(payload, job) \
+                if payload is not None else None
+            if result is not None:
+                served.add(digest)
+            scanned.append((digest, result))
+        return scanned
+
     def compile(self, jobs: Iterable[BatchJob]) -> BatchReport:
         """Run a batch; results come back in job order."""
         jobs = list(jobs)
@@ -265,26 +329,18 @@ class BatchCompiler:
         # immediately, identical misses compile once.
         pending: dict[str, list[int]] = {}
         pending_jobs: dict[str, BatchJob] = {}
-        for index, job in enumerate(jobs):
-            digest = job_digest(job)
-            payload = self.cache.get(digest)
-            result = _result_type(job).from_payload(payload, job) \
-                if payload is not None else None
+        for index, (digest, result) in enumerate(self._scan(jobs)):
             if result is not None:
                 slots[index] = result
                 continue
             pending.setdefault(digest, []).append(index)
-            pending_jobs.setdefault(digest, job)
+            pending_jobs.setdefault(digest, jobs[index])
 
         digests = list(pending)
         compiled = self._run([pending_jobs[digest] for digest in digests])
-        store_batch = getattr(self.cache, "put_many", None)
-        if store_batch is not None:
-            store_batch({digest: result.payload()
-                         for digest, result in zip(digests, compiled)})
+        self._store({digest: result.payload()
+                     for digest, result in zip(digests, compiled)})
         for digest, result in zip(digests, compiled):
-            if store_batch is None:
-                self.cache.put(digest, result.payload())
             first, *duplicates = pending[digest]
             slots[first] = result
             for index in duplicates:
@@ -297,12 +353,79 @@ class BatchCompiler:
             n_workers=self.n_workers,
             elapsed_seconds=time.perf_counter() - started)
 
+    def _store(self, entries: dict[str, dict]) -> None:
+        """Persist payloads, with one batched write when the backend
+        offers ``put_many`` (per-entry puts otherwise)."""
+        if not entries:
+            return
+        store_batch = getattr(self.cache, "put_many", None)
+        if store_batch is not None:
+            store_batch(entries)
+            return
+        for digest, payload in entries.items():
+            self.cache.put(digest, payload)
+
+    def _persist(self, jobs: Sequence[BatchJob], results) -> None:
+        """Best-effort store of completed results for ``jobs`` (a
+        failing batch's salvage path -- :meth:`compile` only persists
+        after ``_run`` returns whole, so completed work must be saved
+        before the failure propagates or a re-run would recompute it).
+
+        Best-effort because it only ever runs while a job failure or
+        interrupt is already propagating: a cache write error here
+        (disk full, dead server) must cost the salvage, never displace
+        the primary error and its culprit attribution.
+        """
+        try:
+            self._store({job_digest(job): result.payload()
+                         for job, result in zip(jobs, results)
+                         if result is not None})
+        except Exception:
+            _LOGGER.warning(
+                "failed to persist completed results while a batch "
+                "failure was propagating; the re-run will recompute "
+                "them", exc_info=True)
+
     def _run(self, jobs: Sequence[BatchJob]) -> list[JobResult]:
         if self.n_workers == 1 or len(jobs) <= 1:
-            return [execute_any(job) for job in jobs]
+            results = []
+            try:
+                for job in jobs:
+                    results.append(execute_any(job))
+            except BaseException as error:
+                # Salvage the completed prefix for job failures and
+                # interrupts alike; only the former names a culprit.
+                self._persist(jobs, results)
+                if isinstance(error, Exception):
+                    failing = jobs[len(results)]
+                    raise _job_failure(failing, job_digest(failing),
+                                       error) from error
+                raise
+            return results
         workers = min(self.n_workers, len(jobs))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(execute_any, jobs))
+            futures = [pool.submit(execute_any, job) for job in jobs]
+            results = []
+            try:
+                for future in futures:
+                    results.append(future.result())
+            except BaseException as error:
+                # Stop paying for what never started, persist
+                # everything that did complete (including in-flight
+                # completions the shutdown drains), and -- for a job
+                # failure, as opposed to a KeyboardInterrupt -- name
+                # the culprit.
+                pool.shutdown(wait=True, cancel_futures=True)
+                self._persist(jobs, [
+                    f.result() if f.done() and not f.cancelled()
+                    and f.exception() is None else None
+                    for f in futures])
+                if isinstance(error, Exception):
+                    failing = jobs[len(results)]
+                    raise _job_failure(failing, job_digest(failing),
+                                       error) from error
+                raise
+            return results
 
     def as_completed(self, jobs: Iterable) -> Iterator[tuple[int, Any]]:
         """Stream ``(index, result)`` pairs in completion order.
@@ -318,20 +441,26 @@ class BatchCompiler:
         it exists, so an interrupted run keeps its partial progress and
         a re-run against the same cache only computes what is still
         missing.
+
+        Failure semantics: a job that raises (or a worker process that
+        dies, surfacing as ``BrokenProcessPool``) aborts the stream
+        with a :class:`BatchError` whose ``job_name``/``digest`` name
+        the failing work unit.  The pool is shut down -- never
+        orphaned -- and results that completed before (or in flight
+        with) the failure are persisted first, so the cache stays
+        consistent and the surviving points resume on the next run.
+        The same teardown runs when the consumer abandons the stream
+        or a ``KeyboardInterrupt`` lands mid-wait.
         """
         jobs = list(jobs)
         pending: dict[str, list[int]] = {}
         pending_jobs: dict[str, Any] = {}
-        for index, job in enumerate(jobs):
-            digest = job_digest(job)
-            payload = self.cache.get(digest)
-            result = _result_type(job).from_payload(payload, job) \
-                if payload is not None else None
+        for index, (digest, result) in enumerate(self._scan(jobs)):
             if result is not None:
                 yield index, result
                 continue
             pending.setdefault(digest, []).append(index)
-            pending_jobs.setdefault(digest, job)
+            pending_jobs.setdefault(digest, jobs[index])
         if not pending:
             return
 
@@ -348,8 +477,12 @@ class BatchCompiler:
 
         if self.n_workers == 1 or len(pending) == 1:
             for digest in pending:
-                yield from fan_out(digest,
-                                   execute_any(pending_jobs[digest]))
+                try:
+                    result = execute_any(pending_jobs[digest])
+                except Exception as error:
+                    raise _job_failure(pending_jobs[digest], digest,
+                                       error) from error
+                yield from fan_out(digest, result)
             return
         workers = min(self.n_workers, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
@@ -357,18 +490,37 @@ class BatchCompiler:
                        digest for digest in pending}
             try:
                 for future in _futures_as_completed(futures):
-                    yield from fan_out(futures[future], future.result())
+                    digest = futures[future]
+                    try:
+                        result = future.result()
+                    except Exception as error:
+                        raise _job_failure(pending_jobs[digest], digest,
+                                           error) from error
+                    yield from fan_out(digest, result)
             finally:
-                # Abandoned mid-stream: drop what never started, let
+                # Torn down mid-stream -- abandoned, interrupted, or a
+                # job failure above: drop what never started, let
                 # in-flight jobs finish, and persist everything that
-                # completed -- compute is cached, never thrown away.
+                # completed.  Compute is cached, never thrown away, so
+                # a re-run against the same cache resumes exactly where
+                # this one stopped.
                 pool.shutdown(wait=True, cancel_futures=True)
-                for future, digest in futures.items():
-                    if digest in persisted or future.cancelled() \
-                            or not future.done() \
-                            or future.exception() is not None:
-                        continue
-                    self.cache.put(digest, future.result().payload())
+                salvage = {
+                    digest: future.result().payload()
+                    for future, digest in futures.items()
+                    if digest not in persisted
+                    and not future.cancelled() and future.done()
+                    and future.exception() is None}
+                try:
+                    self._store(salvage)
+                except Exception:
+                    # Teardown salvage is best-effort: a cache write
+                    # error must not displace whatever is already
+                    # propagating.
+                    _LOGGER.warning(
+                        "failed to persist %d completed result(s) "
+                        "during stream teardown", len(salvage),
+                        exc_info=True)
 
     def run_iter(self, jobs: Iterable) -> Iterator[Any]:
         """Stream results in job order, each as soon as it is ready.

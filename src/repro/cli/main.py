@@ -24,6 +24,10 @@ ablate
     EXP-X1..X3) sharded through the batch engine: per-point streaming
     progress, grid overrides (``--set``), persistent point caches, and
     zero-recompile cached re-runs.
+cache-serve
+    Run a remote result-cache server in front of any cache store, so
+    batch/stats/ablate runs on other processes or hosts can share one
+    store via ``--cache tcp://HOST:PORT``.
 """
 
 from __future__ import annotations
@@ -210,7 +214,7 @@ def _cmd_kernels(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    from repro.batch import BatchCompiler, JsonFileCache, jobs_from_kernels
+    from repro.batch import BatchCompiler, jobs_from_kernels, open_cache
     from repro.batch.jobs import jobs_from_suite
 
     spec = _spec_from_args(args)
@@ -225,7 +229,7 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                                run_simulation=not args.no_sim,
                                n_iterations=args.iterations,
                                include_baseline=args.baseline)
-    cache = JsonFileCache(args.cache) if args.cache else None
+    cache = open_cache(args.cache) if args.cache else None
     compiler = BatchCompiler(cache=cache, n_workers=args.workers)
     report = compiler.compile(jobs)
     title = f"batch: {args.kernels or args.suite} on {spec}"
@@ -235,6 +239,39 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         path = reports.save_report(report, args.json)
         print(f"(report saved to {path})")
     return 0 if report.all_audits_ok else 1
+
+
+def _cmd_cache_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.batch.cache import open_cache
+    from repro.batch.service import CacheServer
+
+    store = open_cache(args.store)
+    try:
+        server = CacheServer(store, args.host, args.port,
+                             readonly=args.readonly)
+    except OSError as error:
+        # Port in use, unresolvable host, privileged port, ...
+        raise ReproError(
+            f"cannot serve on tcp://{args.host}:{args.port}: {error}")
+    print(f"serving cache store {args.store!r} at {server.endpoint}"
+          f"{' (read-only)' if args.readonly else ''}; "
+          f"stop with SIGINT/SIGTERM", flush=True)
+
+    def terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, terminate)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.shutdown()
+        print(f"cache server stopped; {store.stats}", flush=True)
+    return 0
 
 
 def _int_tuple(text: str) -> tuple[int, ...]:
@@ -507,8 +544,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="process-pool width (default 1: "
                                    "compile inline)")
     batch_parser.add_argument("--cache", default=None,
-                              help="persist results in this JSON cache "
-                                   "file; re-runs skip recompilation")
+                              help="result cache spec: PATH.json, a "
+                                   "directory, or tcp://HOST:PORT (a "
+                                   "running cache-serve); re-runs skip "
+                                   "recompilation")
     batch_parser.add_argument("--iterations", type=int, default=None,
                               help="simulated iterations per kernel")
     batch_parser.add_argument("--no-sim", action="store_true",
@@ -548,9 +587,11 @@ def build_parser() -> argparse.ArgumentParser:
                                    "compute inline)")
     stats_parser.add_argument("--cache", default=None,
                               help="grid-point cache: PATH.json (single "
-                                   "JSON store) or a directory (sharded "
-                                   "store, shareable across hosts); "
-                                   "re-runs skip solved points")
+                                   "JSON store), a directory (sharded "
+                                   "store, shareable across hosts), or "
+                                   "tcp://HOST:PORT (a running "
+                                   "cache-serve); re-runs skip solved "
+                                   "points")
     stats_parser.add_argument("--no-progress", action="store_true",
                               help="suppress per-point streaming output")
     stats_parser.add_argument("--json", default=None,
@@ -579,14 +620,35 @@ def build_parser() -> argparse.ArgumentParser:
                                     "compute inline)")
     ablate_parser.add_argument("--cache", default=None,
                                help="point cache: PATH.json (single JSON "
-                                    "store) or a directory (sharded "
-                                    "store, shareable across hosts); "
-                                    "re-runs skip solved points")
+                                    "store), a directory (sharded "
+                                    "store, shareable across hosts), or "
+                                    "tcp://HOST:PORT (a running "
+                                    "cache-serve); re-runs skip solved "
+                                    "points")
     ablate_parser.add_argument("--no-progress", action="store_true",
                                help="suppress per-point streaming output")
     ablate_parser.add_argument("--json", default=None,
                                help="also save the summary as JSON")
     ablate_parser.set_defaults(func=_cmd_ablate)
+
+    serve_parser = commands.add_parser(
+        "cache-serve", help="serve a shared result cache over TCP for "
+                            "multi-process / multi-host runs")
+    serve_parser.add_argument("--store", default="mem:65536",
+                              help="backing store spec: mem[:CAPACITY], "
+                                   "PATH.json, json:PATH, or a directory "
+                                   "(default mem:65536)")
+    serve_parser.add_argument("--host", default="127.0.0.1",
+                              help="bind address (default 127.0.0.1; "
+                                   "use 0.0.0.0 to serve other hosts)")
+    serve_parser.add_argument("--port", type=int, default=8741,
+                              help="TCP port (default 8741; 0 picks an "
+                                   "ephemeral port, printed on startup)")
+    serve_parser.add_argument("--readonly", action="store_true",
+                              help="serve cache hits but reject stores "
+                                   "(clients keep working and skip "
+                                   "their puts)")
+    serve_parser.set_defaults(func=_cmd_cache_serve)
 
     verify_parser = commands.add_parser(
         "verify", help="compile a kernel and fail on any audit mismatch")

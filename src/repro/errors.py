@@ -88,4 +88,24 @@ class ExperimentError(ReproError):
 
 
 class BatchError(ReproError):
-    """Invalid batch-compilation job, cache, or engine configuration."""
+    """Invalid batch job, cache, or engine configuration -- or a job
+    that failed inside a batch run.
+
+    Attributes
+    ----------
+    job_name, digest:
+        Set when the error wraps one failing job of a batch: the job's
+        display name and its content digest (the cache key), so callers
+        can pinpoint -- and re-run or exclude -- the work unit that
+        failed.  When a whole worker *process* dies
+        (``BrokenProcessPool``), the named job is merely the one whose
+        future surfaced the breakage; the actual culprit may be any
+        job that was in flight (the message says so).  ``None`` for
+        configuration errors.
+    """
+
+    def __init__(self, message: str, *, job_name: str | None = None,
+                 digest: str | None = None):
+        super().__init__(message)
+        self.job_name = job_name
+        self.digest = digest

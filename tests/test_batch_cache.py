@@ -141,6 +141,14 @@ class TestInMemoryLRUCache:
         with pytest.raises(BatchError):
             InMemoryLRUCache(capacity=0)
 
+    def test_put_many_counts_one_store_per_entry(self):
+        cache = InMemoryLRUCache()
+        cache.put_many({"a": {"v": 1}, "b": {"v": 2}})
+        assert cache.stats.stores == 2
+        assert cache.get("a") == {"v": 1}
+        cache.put_many({})
+        assert cache.stats.stores == 2
+
     def test_stats_str(self):
         assert "0 hit(s)" in str(CacheStats())
 
@@ -167,6 +175,17 @@ class TestJsonFileCache:
         path = tmp_path / "cache.json"
         path.write_text(json.dumps(["not", "a", "mapping"]))
         assert len(JsonFileCache(path)) == 0
+
+    def test_corrupt_entry_costs_only_itself(self, tmp_path):
+        """Per-entry salvage: one bad value must not nuke the store."""
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"good": {"x": 1}, "bad": "oops",
+                                    "worse": [1, 2]}))
+        cache = JsonFileCache(path)
+        assert len(cache) == 1
+        assert cache.get("good") == {"x": 1}
+        assert cache.get("bad") is None
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
 
     def test_store_is_sorted_json(self, tmp_path):
         path = tmp_path / "cache.json"
@@ -299,6 +318,65 @@ class TestShardedDirectoryCache:
         assert cache.get("feed" * 16) is None
         assert cache.stats.misses == 2
 
+    def test_corrupt_entry_is_removed_not_raised(self, tmp_path):
+        """A bad entry must be discarded so the recompiled result can
+        take its place (and re-reads stop paying for the parse)."""
+        cache = ShardedDirectoryCache(tmp_path / "store")
+        digest = "feed" * 16
+        cache.put(digest, {"x": 1})
+        entry = cache._entry_path(digest)
+        entry.write_text("{ not json")
+        assert cache.get(digest) is None
+        assert not entry.exists()
+        cache.put(digest, {"x": 2})  # the slot is writable again
+        assert cache.get(digest) == {"x": 2}
+
+    def test_non_mapping_entry_is_removed(self, tmp_path):
+        cache = ShardedDirectoryCache(tmp_path / "store")
+        digest = "beef" * 16
+        cache.put(digest, {"x": 1})
+        entry = cache._entry_path(digest)
+        entry.write_text(json.dumps([1, 2, 3]))
+        assert cache.get(digest) is None
+        assert not entry.exists()
+        assert cache.stats.misses == 1
+
+    def test_missing_entry_does_not_attempt_removal(self, tmp_path):
+        cache = ShardedDirectoryCache(tmp_path / "store")
+        assert cache.get("dead" * 16) is None
+        assert cache.stats.misses == 1
+
+    def test_discard_reverifies_before_unlinking(self, tmp_path):
+        """The shared-store race: if a concurrent writer's atomic
+        rename lands a valid entry before the discard fires, the
+        discard must notice and spare it."""
+        cache = ShardedDirectoryCache(tmp_path / "store")
+        digest = "feed" * 16
+        cache.put(digest, {"v": 1})
+        cache._discard(cache._entry_path(digest))
+        assert cache.get(digest) == {"v": 1}
+
+    def test_unreadable_entry_is_a_miss_but_not_discarded(self,
+                                                          tmp_path):
+        """Only *provably corrupt* entries are removed.  A read that
+        fails for other reasons (here: the path is a directory; in the
+        field: a transient EIO/ESTALE on a shared mount) must not
+        destroy what may be another host's valid entry."""
+        cache = ShardedDirectoryCache(tmp_path / "store")
+        digest = "cafe" * 16
+        entry = cache._entry_path(digest)
+        entry.mkdir(parents=True)
+        assert cache.get(digest) is None
+        assert cache.stats.misses == 1
+        assert entry.exists()
+
+    def test_put_many_counts_one_store_per_entry(self, tmp_path):
+        cache = ShardedDirectoryCache(tmp_path / "store")
+        cache.put_many({"a" * 64: {"v": 1}, "b" * 64: {"v": 2},
+                        "c" * 64: {"v": 3}})
+        assert cache.stats.stores == 3
+        assert len(cache) == 3
+
     def test_unsafe_keys_are_hashed_to_file_names(self, tmp_path):
         cache = ShardedDirectoryCache(tmp_path / "store")
         # Slashes, leading dots: anything that could leave the root.
@@ -348,6 +426,166 @@ class TestOpenCache:
                           ShardedDirectoryCache)
         assert isinstance(open_cache(f"dir:{tmp_path / 'y.json'}"),
                           ShardedDirectoryCache)
+
+    # Table-driven scheme parsing: only *known* schemes are schemes.
+    # Bare paths may contain colons (drive letters, odd file names)
+    # and must open as paths, not be misparsed as scheme specs.
+    BARE_PATH_SPECS = [
+        (r"C:\cache", ShardedDirectoryCache),
+        ("./odd:name", ShardedDirectoryCache),
+        ("relative/plain", ShardedDirectoryCache),
+        ("odd:name.json", JsonFileCache),
+        (r"C:\cache\results.json", JsonFileCache),
+        ("store.v2:final", ShardedDirectoryCache),
+    ]
+
+    @pytest.mark.parametrize("spec, expected", BARE_PATH_SPECS)
+    def test_colon_bearing_bare_paths_open_as_paths(self, spec,
+                                                    expected):
+        cache = open_cache(spec)
+        assert isinstance(cache, expected)
+        target = cache.root if expected is ShardedDirectoryCache \
+            else cache.path
+        assert target == Path(spec)
+
+    def test_existing_file_opens_as_a_json_store_regardless_of_name(
+            self, tmp_path):
+        """Backward compatibility: a store file written before the
+        .json-suffix convention must keep opening as a file store (and
+        keep its entries), not become a directory root that crashes on
+        the first put."""
+        legacy = tmp_path / "mycache"
+        JsonFileCache(legacy).put("k", {"v": 1})
+        reopened = open_cache(str(legacy))
+        assert isinstance(reopened, JsonFileCache)
+        assert reopened.get("k") == {"v": 1}
+
+    def test_existing_non_store_file_is_refused_not_overwritten(
+            self, tmp_path):
+        """A typo'd bare-path spec naming a real user file must fail
+        loudly, not silently replace the file with cache JSON."""
+        precious = tmp_path / "notes.txt"
+        precious.write_text("do not lose this")
+        with pytest.raises(BatchError, match="refusing to touch"):
+            open_cache(str(precious))
+        assert precious.read_text() == "do not lose this"
+        # Leading "{" proves nothing for suffix-less files: Nix/JSON5/
+        # TeX-style content must be refused too, not salvaged-to-empty.
+        nixish = tmp_path / "config.nix"
+        nixish.write_text("{ pkgs, ... }: { services.x.enable = true; }")
+        with pytest.raises(BatchError, match="refusing to touch"):
+            open_cache(str(nixish))
+        assert nixish.read_text().startswith("{ pkgs")
+
+    def test_json_suffixed_non_store_data_is_refused_too(self,
+                                                         tmp_path):
+        """The .json suffix is no license to destroy user data: valid
+        JSON that is not a store-shaped object (all values objects) is
+        someone's file.  (Unparseable .json content still opens --
+        that is the documented corrupt-store degrade-to-empty
+        salvage.)"""
+        data = tmp_path / "results.json"
+        data.write_text(json.dumps(["precious", "user", "data"]))
+        with pytest.raises(BatchError, match="refusing to touch"):
+            open_cache(str(data))
+        assert json.loads(data.read_text()) == ["precious", "user",
+                                                "data"]
+        # Object-shaped but with scalar values: a package.json, not a
+        # store.
+        pkg = tmp_path / "pkg.json"
+        pkg.write_text(json.dumps({"name": "my-app", "version": "1.0",
+                                   "scripts": {"build": "make"}}))
+        with pytest.raises(BatchError, match="refusing to touch"):
+            open_cache(str(pkg))
+        assert json.loads(pkg.read_text())["name"] == "my-app"
+        corrupt = tmp_path / "store.json"
+        corrupt.write_text("{ not json")
+        assert isinstance(open_cache(str(corrupt)), JsonFileCache)
+
+    def test_unreadable_existing_path_is_refused_not_adopted(
+            self, tmp_path):
+        """A path that exists but cannot be read as a file must not be
+        adopted as an empty store (the first put would rename cache
+        JSON over data we could not even inspect)."""
+        weird = tmp_path / "dir.json"
+        weird.mkdir()
+        with pytest.raises(BatchError, match="cannot be read"):
+            open_cache(str(weird))
+        secret = tmp_path / "secret.json"
+        secret.write_text("who knows")
+        secret.chmod(0)
+        try:
+            if not os.access(secret, os.R_OK):  # root reads anything
+                with pytest.raises(BatchError, match="cannot be read"):
+                    open_cache(str(secret))
+        finally:
+            secret.chmod(0o644)
+        assert secret.read_text() == "who knows"
+
+    def test_damaged_store_refusal_has_a_salvaging_escape_hatch(
+            self, tmp_path):
+        """A store whose file grew a non-dict value is refused on the
+        bare path (indistinguishable from user data) -- but the
+        json:PATH form the error suggests opens it with the usual
+        per-entry salvage, so resume is never actually blocked."""
+        damaged = tmp_path / "grid.json"
+        damaged.write_text(json.dumps({"good": {"v": 1}, "bad": None}))
+        with pytest.raises(BatchError, match="json:"):
+            open_cache(str(damaged))
+        salvaged = open_cache(f"json:{damaged}")
+        assert isinstance(salvaged, JsonFileCache)
+        assert salvaged.get("good") == {"v": 1}
+        assert salvaged.get("bad") is None
+
+    def test_adopted_store_file_serves_its_entries(self, tmp_path):
+        """The existing-file path hands its parse to the store: the
+        entries are served without a second load."""
+        legacy = tmp_path / "grid.json"
+        JsonFileCache(legacy).put_many({"a": {"v": 1}, "b": {"v": 2}})
+        adopted = open_cache(str(legacy))
+        assert isinstance(adopted, JsonFileCache)
+        assert len(adopted) == 2
+        assert adopted.get("a") == {"v": 1}
+
+    def test_tcp_scheme_opens_a_remote_client(self):
+        from repro.batch.service import RemoteCache
+
+        remote = open_cache("tcp://127.0.0.1:8741")
+        assert isinstance(remote, RemoteCache)
+        assert (remote.host, remote.port) == ("127.0.0.1", 8741)
+        default_host = open_cache("tcp://:8741")
+        assert default_host.host == "127.0.0.1"
+        v6 = open_cache("tcp://[::1]:8741")
+        assert v6.host == "::1"
+
+    def test_tcp_spec_client_options(self):
+        remote = open_cache(
+            "tcp://10.0.0.5:8741?timeout=2.5&retry_interval=0.5"
+            "&batch_size=32")
+        assert remote.timeout == 2.5
+        assert remote.retry_interval == 0.5
+        assert remote.batch_size == 32
+
+    INVALID_SPECS = [
+        "mem:notanumber",
+        "tcp://hostonly",          # no port
+        "tcp://host:port",         # non-numeric port
+        "tcp://host:0",            # out-of-range port
+        "tcp://host:8741?bogus=1",
+        "tcp://host:8741?timeout=abc",
+        "redis://somewhere:6379",  # unknown scheme, rejected loudly
+        "s3://bucket/key",
+        # URL-style typos of known single-colon schemes must not open
+        # stores at //PATH (the filesystem root).
+        "json://results.json",
+        "dir://data",
+        "mem://16",
+    ]
+
+    @pytest.mark.parametrize("spec", INVALID_SPECS)
+    def test_invalid_specs_are_rejected(self, spec):
+        with pytest.raises(BatchError):
+            open_cache(spec)
 
 
 class TestEngineCacheBehaviour:

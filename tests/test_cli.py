@@ -257,6 +257,94 @@ class TestAblate:
         assert all(line in via_ablate for line in table_and_headline)
 
 
+class TestCacheServe:
+    def test_rejects_a_remote_backing_store(self, capsys):
+        assert main(["cache-serve", "--store",
+                     "tcp://127.0.0.1:8741"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_rejects_an_unknown_store_scheme(self, capsys):
+        assert main(["cache-serve", "--store", "redis://x:1"]) == 1
+        assert "unknown cache scheme" in capsys.readouterr().err
+
+    def test_port_in_use_reports_a_clean_error(self, capsys):
+        from repro.batch.cache import InMemoryLRUCache
+        from repro.batch.service import CacheServer
+
+        with CacheServer(InMemoryLRUCache()) as occupant:
+            assert main(["cache-serve", "--store", "mem", "--port",
+                         str(occupant.address[1])]) == 1
+        err = capsys.readouterr().err
+        assert "error:" in err and "cannot serve" in err
+
+    def test_stats_through_a_live_server(self, tmp_path, capsys):
+        """The multi-host flow end to end: two `stats` runs sharing
+        one `cache-serve` store; the second recompiles nothing."""
+        from repro.batch.cache import ShardedDirectoryCache
+        from repro.batch.service import CacheServer
+
+        store = ShardedDirectoryCache(tmp_path / "served")
+        with CacheServer(store) as server:
+            spec = server.endpoint
+            assert main([*TestStats.TINY, "--cache", spec]) == 0
+            first = capsys.readouterr().out
+            assert "2 grid point(s): 2 compiled" in first
+            assert main([*TestStats.TINY, "--cache", spec,
+                         "--workers", "2"]) == 0
+            second = capsys.readouterr().out
+            assert "0 compiled, 2 cache hit(s)" in second
+            assert "[cached]" in second
+        assert len(store) == 2  # persisted in the backing store
+
+    def test_serve_lifecycle_over_a_subprocess(self, tmp_path):
+        """`cache-serve` as deployed: ephemeral port announced on
+        stdout, clients served, SIGTERM → graceful shutdown with a
+        stats line and exit code 0."""
+        import os
+        import re
+        import signal
+        import subprocess
+        import sys
+        from pathlib import Path
+
+        import repro
+        from repro.batch.cache import ShardedDirectoryCache
+        from repro.batch.service import RemoteCache
+
+        env = dict(os.environ)
+        src = str(Path(repro.__file__).resolve().parents[1])
+        env["PYTHONPATH"] = src + (
+            os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli.main", "cache-serve",
+             "--store", str(tmp_path / "store"), "--port", "0"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+            text=True, env=env)
+        try:
+            match = None
+            seen = []
+            for _ in range(10):  # skip interpreter noise (warnings)
+                line = process.stdout.readline()
+                seen.append(line)
+                match = re.search(r"tcp://([0-9.]+):(\d+)", line)
+                if match or not line:
+                    break
+            assert match, f"no endpoint announced in: {seen!r}"
+            client = RemoteCache(match[1], int(match[2]))
+            client.put("a" * 64, {"v": 1})
+            assert client.get("a" * 64) == {"v": 1}
+        finally:
+            process.send_signal(signal.SIGTERM)
+            out, _err = process.communicate(timeout=30)
+        assert process.returncode == 0
+        assert "cache server stopped" in out
+        assert "1 hit(s), 0 miss(es), 1 store(s)" in out
+        # The backing store outlives the server.
+        survivor = ShardedDirectoryCache(tmp_path / "store")
+        assert survivor.get("a" * 64) == {"v": 1}
+
+
 class TestExperiment:
     def test_quick_stats_with_json(self, tmp_path, capsys):
         target = tmp_path / "stats.json"
