@@ -11,6 +11,8 @@ batched-put throughput against its local in-process baseline
 (``-k remote``).
 """
 
+from contextlib import contextmanager
+
 import pytest
 
 from _bench_util import run_once
@@ -301,3 +303,63 @@ def bench_remote_warm_suite_through_server(benchmark):
 
         report = benchmark(BatchCompiler(cache=client).compile, jobs)
         assert report.n_cache_hits == len(jobs)
+
+
+# ----------------------------------------------------------------------
+# Distributed execution service (-k cluster)
+# ----------------------------------------------------------------------
+@contextmanager
+def _worker_fleet(n_workers: int):
+    """A JobServer plus in-process worker threads (real TCP + framing,
+    in-thread execution), so the benches measure protocol and
+    scheduling overhead without fork noise."""
+    import threading
+
+    from repro.batch.cluster import JobServer, Worker
+
+    with JobServer() as server:
+        workers = [Worker(*server.address, poll=0.05)
+                   for _ in range(n_workers)]
+        threads = [threading.Thread(target=worker.run, daemon=True)
+                   for worker in workers]
+        for thread in threads:
+            thread.start()
+        try:
+            yield server
+        finally:
+            for worker in workers:
+                worker.stop()
+            for thread in threads:
+                thread.join(timeout=10.0)
+
+
+def bench_cluster_job_roundtrip(benchmark):
+    """One trivial job through submit -> lease -> execute -> stream:
+    the per-job floor the execution service adds over inline."""
+    from repro.batch.cluster import ClusterExecutor
+
+    jobs = jobs_from_suite("core8", AguSpec(4, 1), n_iterations=4)[:1]
+    with _worker_fleet(1) as server:
+        executor = ClusterExecutor(*server.address)
+
+        def roundtrip():
+            return BatchCompiler(executor=executor).compile(jobs)
+
+        report = benchmark(roundtrip)
+        assert report.n_jobs == 1
+
+
+def bench_cluster_suite_throughput(benchmark):
+    """The core8 suite through a job server with two workers (compare
+    with bench_batch_suite_cold for the inline baseline)."""
+    from repro.batch.cluster import ClusterExecutor
+
+    jobs = jobs_from_suite("core8", AguSpec(4, 1), n_iterations=4)
+    with _worker_fleet(2) as server:
+        executor = ClusterExecutor(*server.address)
+
+        def run():
+            return BatchCompiler(executor=executor).compile(jobs)
+
+        report = benchmark(run)
+        assert report.n_jobs == len(jobs) and report.all_audits_ok

@@ -35,17 +35,21 @@ from repro.batch import (
     BatchJob,
     BatchReport,
     CacheServer,
+    ClusterExecutor,
     InMemoryLRUCache,
     JobResult,
+    JobServer,
     JsonFileCache,
     RemoteCache,
     ShardedDirectoryCache,
+    Worker,
     job_digest,
     job_matrix,
     jobs_from_kernels,
     jobs_from_random,
     jobs_from_suite,
     open_cache,
+    open_executor,
 )
 from repro.core import (
     AddressRegisterAllocator,
@@ -109,10 +113,12 @@ __all__ = [
     "BatchJob",
     "BatchReport",
     "CacheServer",
+    "ClusterExecutor",
     "CompilationArtifacts",
     "CostModel",
     "InMemoryLRUCache",
     "JobResult",
+    "JobServer",
     "JsonFileCache",
     "Kernel",
     "Loop",
@@ -125,6 +131,7 @@ __all__ = [
     "RemoteCache",
     "ShardedDirectoryCache",
     "SimulationResult",
+    "Worker",
     "allocate_with_modify_registers",
     "best_pair_merge",
     "compile_kernel",
@@ -144,6 +151,7 @@ __all__ = [
     "minimum_zero_cost_cover",
     "naive_merge",
     "open_cache",
+    "open_executor",
     "optimal_allocation",
     "parse_kernel",
     "parse_trace",

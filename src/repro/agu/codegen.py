@@ -61,6 +61,8 @@ class AddressProgram:
 
     @property
     def n_registers_used(self) -> int:
+        """Distinct address registers the program drives (cover paths).
+        """
         return self.cover.n_paths
 
     def body_uses(self) -> list[Use]:

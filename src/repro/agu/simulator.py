@@ -49,6 +49,8 @@ class SimulationResult:
 
     @property
     def total_address_instructions(self) -> int:
+        """Unit-cost address instructions over prologue plus loop body.
+        """
         return self.prologue_instructions + self.loop_overhead_instructions
 
 

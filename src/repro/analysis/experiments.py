@@ -29,8 +29,11 @@ EXP-X1..X3) as the registered
 :class:`~repro.batch.jobs.ExperimentPointJob` points of
 :mod:`repro.analysis.points`, all via :func:`run_experiment`.  Every
 ``run_*`` entry point therefore takes ``n_workers=`` (process-pool
-fan-out), ``cache=`` (persistent, resumable point results), and
-``progress=`` (per-point streaming callback).
+fan-out), ``cache=`` (persistent, resumable point results),
+``progress=`` (per-point streaming callback), and ``executor=`` (an
+explicit execution backend -- ``"tcp://host:port"`` runs the points on
+a multi-host worker fleet; see
+:func:`~repro.batch.engine.open_executor`).
 """
 
 from __future__ import annotations
@@ -87,6 +90,7 @@ class StatisticalConfig:
     cover_node_budget: int = 30_000
 
     def grid(self) -> list[tuple[int, int, int]]:
+        """The (N, M, K) grid in enumeration order."""
         return [(n, m, k)
                 for n in self.n_values
                 for m in self.m_values
@@ -171,19 +175,23 @@ def statistical_rows_from_results(results) -> tuple[StatisticalRow, ...]:
 def run_statistical_comparison(
         config: StatisticalConfig | None = None, *,
         n_workers: int = 1, cache=None,
-        progress=None) -> StatisticalSummary:
+        progress=None, executor=None) -> StatisticalSummary:
     """EXP-S1: reproduce the paper's ≈40 % average-reduction claim.
 
     The grid is sharded through the batch engine
     (:class:`~repro.batch.engine.BatchCompiler`): one cacheable job per
-    grid point, fanned out over ``n_workers`` processes, with results
+    grid point, fanned out over ``n_workers`` processes -- or over an
+    explicit ``executor`` backend (``"tcp://host:port"`` leases the
+    points to a multi-host worker fleet; see
+    :func:`~repro.batch.engine.open_executor`) -- with results
     streamed back as they finish.  Pass a ``cache`` backend (see
     :mod:`repro.batch.cache`) to persist grid points across runs -- a
     re-run then recomputes only what is missing.  ``progress``, when
     given, is called as ``progress(done, total, result)`` after every
-    grid point.  The summary is bit-identical for any worker count and
-    for cached re-runs: each point's statistics depend only on its own
-    seeds, and rows are assembled in grid order.
+    grid point.  The summary is bit-identical for any worker count,
+    any executor, and for cached re-runs: each point's statistics
+    depend only on its own seeds, and rows are assembled in grid
+    order.
     """
     from repro.batch.engine import BatchCompiler
 
@@ -191,7 +199,8 @@ def run_statistical_comparison(
         config = StatisticalConfig()
     started = time.perf_counter()
     jobs = statistical_grid_jobs(config)
-    compiler = BatchCompiler(cache=cache, n_workers=n_workers)
+    compiler = BatchCompiler(cache=cache, n_workers=n_workers,
+                             executor=executor)
 
     results = [None] * len(jobs)
     done = 0
@@ -299,6 +308,7 @@ class KernelComparisonRow:
 
 @dataclass(frozen=True)
 class KernelComparisonSummary:
+    """EXP-K1 outcome: per-kernel rows plus headline means."""
     config: KernelComparisonConfig
     rows: tuple[KernelComparisonRow, ...]
     mean_overhead_reduction_pct: float
@@ -370,18 +380,22 @@ def run_kernel_comparison(
 # The generic sharded experiment runner
 # ======================================================================
 def run_experiment(experiment: str, config=None, *, n_workers: int = 1,
-                   cache=None, progress=None):
+                   cache=None, progress=None, executor=None):
     """Run a registered experiment sharded through the batch engine.
 
     The uniform execution path behind every ``run_*`` ablation below:
     the experiment's points (see :mod:`repro.batch.registry` and
     :mod:`repro.analysis.points`) fan out over ``n_workers`` processes
-    via :class:`~repro.batch.engine.BatchCompiler`, every computed
+    -- or over an explicit ``executor`` backend such as
+    ``"tcp://host:port"`` (a multi-host worker fleet; see
+    :func:`~repro.batch.engine.open_executor`) -- via
+    :class:`~repro.batch.engine.BatchCompiler`, every computed
     point is persisted to ``cache`` the moment it exists (interrupted
     runs resume; warm re-runs recompute nothing), ``progress(done,
     total, result)`` fires per point, and the experiment's summary
     dataclass is reassembled from the streamed results bit-identically
-    to what the retired sequential loops produced.
+    to what the retired sequential loops produced -- whatever executor
+    computed them.
     """
     import dataclasses as _dataclasses
 
@@ -393,7 +407,8 @@ def run_experiment(experiment: str, config=None, *, n_workers: int = 1,
         config = definition.default_config()
     started = time.perf_counter()
     jobs = experiment_point_jobs(definition, config)
-    compiler = BatchCompiler(cache=cache, n_workers=n_workers)
+    compiler = BatchCompiler(cache=cache, n_workers=n_workers,
+                             executor=executor)
 
     results = [None] * len(jobs)
     done = 0
@@ -435,6 +450,7 @@ class PathCoverAblationConfig:
 
 @dataclass(frozen=True)
 class PathCoverAblationRow:
+    """One (N, M) grid point of EXP-A1."""
     n: int
     m: int
     n_patterns: int
@@ -452,6 +468,7 @@ class PathCoverAblationRow:
 
 @dataclass(frozen=True)
 class PathCoverAblationSummary:
+    """EXP-A1 outcome: per-grid-point rows."""
     config: PathCoverAblationConfig
     rows: tuple[PathCoverAblationRow, ...]
     elapsed_seconds: float
@@ -463,14 +480,15 @@ class PathCoverAblationSummary:
 def run_path_cover_ablation(
         config: PathCoverAblationConfig | None = None, *,
         n_workers: int = 1, cache=None,
-        progress=None) -> PathCoverAblationSummary:
+        progress=None, executor=None) -> PathCoverAblationSummary:
     """EXP-A1: how tight are the bounds, how costly is exactness.
 
     Sharded through the batch engine (see :func:`run_experiment`):
     one cacheable job per (N, M) grid point.
     """
     return run_experiment("pathcover", config, n_workers=n_workers,
-                          cache=cache, progress=progress)
+                          cache=cache, progress=progress,
+                          executor=executor)
 
 
 # ======================================================================
@@ -510,6 +528,7 @@ class CostModelAblationRow:
 
 @dataclass(frozen=True)
 class CostModelAblationSummary:
+    """EXP-A2 outcome: per-grid-point rows plus the mean penalty."""
     config: CostModelAblationConfig
     rows: tuple[CostModelAblationRow, ...]
     mean_penalty_pct: float
@@ -522,7 +541,7 @@ class CostModelAblationSummary:
 def run_cost_model_ablation(
         config: CostModelAblationConfig | None = None, *,
         n_workers: int = 1, cache=None,
-        progress=None) -> CostModelAblationSummary:
+        progress=None, executor=None) -> CostModelAblationSummary:
     """EXP-A2: merging with the literal intra-only ``C(P)`` leaves the
     wrap-around costs on the table; quantify how much.
 
@@ -530,7 +549,8 @@ def run_cost_model_ablation(
     one cacheable job per (N, M, K) grid point.
     """
     return run_experiment("costmodel", config, n_workers=n_workers,
-                          cache=cache, progress=progress)
+                          cache=cache, progress=progress,
+                          executor=executor)
 
 
 # ======================================================================
@@ -562,6 +582,7 @@ class MergingAblationConfig:
 
 @dataclass(frozen=True)
 class MergingAblationRow:
+    """One (N, M, K) grid point of EXP-A3."""
     n: int
     m: int
     k: int
@@ -579,6 +600,7 @@ class MergingAblationRow:
 
 @dataclass(frozen=True)
 class MergingAblationSummary:
+    """EXP-A3 outcome: per-grid-point rows."""
     config: MergingAblationConfig
     rows: tuple[MergingAblationRow, ...]
     elapsed_seconds: float
@@ -590,7 +612,7 @@ class MergingAblationSummary:
 def run_merging_ablation(
         config: MergingAblationConfig | None = None, *,
         n_workers: int = 1, cache=None,
-        progress=None) -> MergingAblationSummary:
+        progress=None, executor=None) -> MergingAblationSummary:
     """EXP-A3: position the paper's heuristic between naive and optimal.
 
     Sharded through the batch engine (see :func:`run_experiment`):
@@ -599,7 +621,8 @@ def run_merging_ablation(
     :class:`MergingAblationConfig`).
     """
     return run_experiment("merging", config, n_workers=n_workers,
-                          cache=cache, progress=progress)
+                          cache=cache, progress=progress,
+                          executor=executor)
 
 
 # ======================================================================
@@ -627,6 +650,7 @@ class OffsetComparisonConfig:
 
 @dataclass(frozen=True)
 class OffsetSoaRow:
+    """One (V, length) SOA grid point of EXP-O1."""
     n_variables: int
     length: int
     n_sequences: int
@@ -640,6 +664,7 @@ class OffsetSoaRow:
 
 @dataclass(frozen=True)
 class OffsetGoaRow:
+    """One (V, length, K) GOA grid point of EXP-O1."""
     n_variables: int
     length: int
     k: int
@@ -651,6 +676,7 @@ class OffsetGoaRow:
 
 @dataclass(frozen=True)
 class OffsetComparisonSummary:
+    """EXP-O1 outcome: SOA and GOA rows plus headline means."""
     config: OffsetComparisonConfig
     soa_rows: tuple[OffsetSoaRow, ...]
     goa_rows: tuple[OffsetGoaRow, ...]
@@ -665,7 +691,7 @@ class OffsetComparisonSummary:
 def run_offset_comparison(
         config: OffsetComparisonConfig | None = None, *,
         n_workers: int = 1, cache=None,
-        progress=None) -> OffsetComparisonSummary:
+        progress=None, executor=None) -> OffsetComparisonSummary:
     """EXP-O1: SOA heuristics vs the OFU baseline (and GOA over k ARs).
 
     Context for the paper's "complementary" citation of refs [4, 5]:
@@ -675,7 +701,8 @@ def run_offset_comparison(
     per (V, length) grid point, covering its SOA row and GOA rows.
     """
     return run_experiment("offset", config, n_workers=n_workers,
-                          cache=cache, progress=progress)
+                          cache=cache, progress=progress,
+                          executor=executor)
 
 
 # ======================================================================
@@ -704,6 +731,7 @@ class ModRegAblationConfig:
 
 @dataclass(frozen=True)
 class ModRegAblationRow:
+    """One (N, K, MR) grid point of EXP-X1."""
     n: int
     k: int
     n_modify_registers: int
@@ -715,6 +743,7 @@ class ModRegAblationRow:
 
 @dataclass(frozen=True)
 class ModRegAblationSummary:
+    """EXP-X1 outcome: per-point rows."""
     config: ModRegAblationConfig
     rows: tuple[ModRegAblationRow, ...]
     elapsed_seconds: float
@@ -726,7 +755,7 @@ class ModRegAblationSummary:
 def run_modreg_ablation(
         config: ModRegAblationConfig | None = None, *,
         n_workers: int = 1, cache=None,
-        progress=None) -> ModRegAblationSummary:
+        progress=None, executor=None) -> ModRegAblationSummary:
     """EXP-X1: addressing cost vs the number of modify registers.
 
     Extension experiment (not in the paper): quantifies how much of the
@@ -738,7 +767,8 @@ def run_modreg_ablation(
     against each (N, K) pair's MR=0 point.
     """
     return run_experiment("modreg", config, n_workers=n_workers,
-                          cache=cache, progress=progress)
+                          cache=cache, progress=progress,
+                          executor=executor)
 
 
 # ======================================================================
@@ -763,6 +793,7 @@ class ReorderAblationConfig:
 
 @dataclass(frozen=True)
 class ReorderAblationRow:
+    """One (N, K) grid point of EXP-X2."""
     n: int
     k: int
     n_patterns: int
@@ -775,6 +806,7 @@ class ReorderAblationRow:
 
 @dataclass(frozen=True)
 class ReorderAblationSummary:
+    """EXP-X2 outcome: per-grid-point rows plus the mean reduction."""
     config: ReorderAblationConfig
     rows: tuple[ReorderAblationRow, ...]
     mean_reduction_pct: float
@@ -787,7 +819,7 @@ class ReorderAblationSummary:
 def run_reorder_ablation(
         config: ReorderAblationConfig | None = None, *,
         n_workers: int = 1, cache=None,
-        progress=None) -> ReorderAblationSummary:
+        progress=None, executor=None) -> ReorderAblationSummary:
     """EXP-X2: what scheduling freedom buys on top of the paper.
 
     Extension experiment (not in the paper): random patterns with
@@ -798,7 +830,8 @@ def run_reorder_ablation(
     (N, K) grid point.
     """
     return run_experiment("reorder", config, n_workers=n_workers,
-                          cache=cache, progress=progress)
+                          cache=cache, progress=progress,
+                          executor=executor)
 
 
 # ======================================================================
@@ -825,6 +858,7 @@ class ArrayLayoutAblationConfig:
 
 @dataclass(frozen=True)
 class ArrayLayoutAblationRow:
+    """One (N, K) grid point of EXP-X3."""
     n: int
     k: int
     n_patterns: int
@@ -835,6 +869,7 @@ class ArrayLayoutAblationRow:
 
 @dataclass(frozen=True)
 class ArrayLayoutAblationSummary:
+    """EXP-X3 outcome: per-grid-point rows plus the mean reduction."""
     config: ArrayLayoutAblationConfig
     rows: tuple[ArrayLayoutAblationRow, ...]
     mean_reduction_pct: float
@@ -847,7 +882,7 @@ class ArrayLayoutAblationSummary:
 def run_array_layout_ablation(
         config: ArrayLayoutAblationConfig | None = None, *,
         n_workers: int = 1, cache=None,
-        progress=None) -> ArrayLayoutAblationSummary:
+        progress=None, executor=None) -> ArrayLayoutAblationSummary:
     """EXP-X3: what choosing array base addresses buys.
 
     Extension experiment (ref [1]'s layout angle, not in the paper):
@@ -858,7 +893,8 @@ def run_array_layout_ablation(
     grid point.
     """
     return run_experiment("arraylayout", config, n_workers=n_workers,
-                          cache=cache, progress=progress)
+                          cache=cache, progress=progress,
+                          executor=executor)
 
 
 # ======================================================================
@@ -891,6 +927,7 @@ class DistributionSensitivityConfig:
 
 @dataclass(frozen=True)
 class DistributionSensitivityRow:
+    """One offset distribution's EXP-S1 repetition, summarized."""
     distribution: str
     average_reduction_pct: float
     overall_reduction_pct: float
@@ -900,6 +937,7 @@ class DistributionSensitivityRow:
 
 @dataclass(frozen=True)
 class DistributionSensitivitySummary:
+    """EXP-S3 outcome: one row per offset distribution."""
     config: DistributionSensitivityConfig
     rows: tuple[DistributionSensitivityRow, ...]
     elapsed_seconds: float
@@ -911,7 +949,7 @@ class DistributionSensitivitySummary:
 def run_distribution_sensitivity(
         config: DistributionSensitivityConfig | None = None, *,
         n_workers: int = 1, cache=None,
-        progress=None) -> DistributionSensitivitySummary:
+        progress=None, executor=None) -> DistributionSensitivitySummary:
     """EXP-S3: is the ≈40 % claim an artifact of one offset shape?
 
     Repeats EXP-S1 under every offset distribution of the random

@@ -46,6 +46,7 @@ class SelfTestReport:
     elapsed_seconds: float
 
     def summary(self) -> str:
+        """One-line account of the instances and addresses audited."""
         return (
             f"self-test passed: {self.n_instances} instances, "
             f"{self.n_accesses_verified} addresses verified, "

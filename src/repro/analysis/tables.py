@@ -23,6 +23,8 @@ class Column:
     align: str = ">"
 
     def render(self, row: dict[str, Any]) -> str:
+        """One row's value formatted for this column (None renders as
+        '-')."""
         value = row.get(self.key, "")
         if value is None:
             return "-"
@@ -46,11 +48,13 @@ class Table:
         self._rows.append(values)
 
     def add_rows(self, rows: Iterable[dict[str, Any]]) -> None:
+        """Append many rows at once (each a key -> value dict)."""
         for row in rows:
             self._rows.append(dict(row))
 
     @property
     def n_rows(self) -> int:
+        """Number of data rows added so far."""
         return len(self._rows)
 
     def render(self) -> str:

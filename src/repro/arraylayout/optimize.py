@@ -42,6 +42,7 @@ class LayoutPlan:
 
     @property
     def savings(self) -> int:
+        """Cost units saved vs the reference guard-gap layout."""
         return self.baseline_cost - self.cost
 
 

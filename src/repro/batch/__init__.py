@@ -17,9 +17,16 @@ The scaling layer on top of :func:`repro.core.pipeline.compile_kernel`:
   :class:`CacheServer` fronts any store over TCP (the ``repro-agu
   cache-serve`` subcommand) and :class:`RemoteCache` is the matching
   ``tcp://host:port`` client backend;
-* :mod:`repro.batch.engine` -- :class:`BatchCompiler` (process-pool
-  fan-out, cache orchestration, streaming ``as_completed``/
-  ``run_iter`` delivery) and the aggregated :class:`BatchReport`.
+* :mod:`repro.batch.engine` -- :class:`BatchCompiler` (cache
+  orchestration, streaming ``as_completed``/``run_iter`` delivery),
+  the aggregated :class:`BatchReport`, and the :class:`Executor` seam
+  (:class:`InlineExecutor`, :class:`LocalPoolExecutor`,
+  :func:`open_executor`) that decides where cache misses run;
+* :mod:`repro.batch.cluster` -- the distributed execution service:
+  :class:`JobServer` (the ``repro-agu job-serve`` subcommand) leases
+  jobs to :class:`Worker` processes (``repro-agu worker``) on any
+  number of hosts, and :class:`ClusterExecutor` is the matching
+  ``tcp://host:port`` execution backend.
 """
 
 from repro.batch.cache import (
@@ -41,10 +48,15 @@ from repro.batch.registry import (
 from repro.batch.engine import (
     BatchCompiler,
     BatchReport,
+    Executor,
+    InlineExecutor,
     JobResult,
+    LocalPoolExecutor,
     execute_any,
     execute_job,
+    open_executor,
 )
+from repro.batch.cluster import ClusterExecutor, JobServer, Worker
 from repro.batch.service import CacheServer, RemoteCache
 from repro.batch.jobs import (
     BatchJob,
@@ -66,17 +78,23 @@ __all__ = [
     "CacheBackend",
     "CacheServer",
     "CacheStats",
+    "ClusterExecutor",
     "DIGEST_VERSION",
+    "Executor",
     "ExperimentDefinition",
     "ExperimentPointJob",
     "ExperimentPointResult",
     "GridPointResult",
     "InMemoryLRUCache",
+    "InlineExecutor",
     "JobResult",
+    "JobServer",
     "JsonFileCache",
+    "LocalPoolExecutor",
     "RemoteCache",
     "ShardedDirectoryCache",
     "StatisticalGridJob",
+    "Worker",
     "execute_any",
     "experiment_point_jobs",
     "get_experiment",
@@ -90,4 +108,5 @@ __all__ = [
     "register_experiment",
     "registered_experiments",
     "open_cache",
+    "open_executor",
 ]

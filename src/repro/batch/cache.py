@@ -65,6 +65,7 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total lookups answered (hits + misses)."""
         return self.hits + self.misses
 
     @property
@@ -192,6 +193,8 @@ class JsonFileCache:
         return len(self._entries)
 
     def get(self, digest: str) -> dict | None:
+        """A copy of the payload under ``digest``, or ``None`` on a
+        miss."""
         payload = self._entries.get(digest)
         if payload is None:
             self.stats.misses += 1
@@ -200,6 +203,8 @@ class JsonFileCache:
         return copy.deepcopy(payload)
 
     def put(self, digest: str, payload: dict) -> None:
+        """Store a copy of ``payload`` and rewrite the file atomically.
+        """
         self._entries[digest] = copy.deepcopy(payload)
         self.stats.stores += 1
         self._flush()
@@ -254,6 +259,8 @@ class ShardedDirectoryCache:
         return sum(1 for _ in self.root.glob("*/*.json"))
 
     def get(self, digest: str) -> dict | None:
+        """The payload under ``digest``; unreadable or corrupt entries
+        count a miss (see the discard rules above)."""
         path = self._entry_path(digest)
         try:
             payload = json.loads(path.read_text())
@@ -300,6 +307,8 @@ class ShardedDirectoryCache:
             pass
 
     def put(self, digest: str, payload: dict) -> None:
+        """Write ``payload`` to its own entry file with an atomic
+        rename."""
         _atomic_write_json(self._entry_path(digest), payload)
         self.stats.stores += 1
 
@@ -329,46 +338,14 @@ _TCP_OPTIONS = {"timeout": float, "retry_interval": float,
 def _open_remote(text: str) -> CacheBackend:
     """``tcp://HOST:PORT[?options]`` -> a connected-on-demand client.
 
-    :func:`~urllib.parse.urlsplit` does the URL work (bracketed IPv6
-    hosts, port validation); only the option allowlist is bespoke.
+    The spec grammar (incl. bracketed IPv6 hosts and the option
+    allowlist mechanics) is the batch layer's shared
+    :func:`~repro.batch.service.parse_endpoint`.
     """
-    from urllib.parse import parse_qsl, urlsplit
+    from repro.batch.service import RemoteCache, parse_endpoint
 
-    from repro.batch.service import RemoteCache
-
-    expected = (f"expected tcp://HOST:PORT"
-                f"[?{'&'.join(sorted(_TCP_OPTIONS))}]")
-    try:
-        parts = urlsplit(text)
-        port = parts.port
-    except ValueError as error:
-        raise BatchError(
-            f"invalid remote cache spec {text!r} ({error}); {expected}")
-    if port is None or parts.path or parts.fragment \
-            or parts.username is not None:
-        raise BatchError(
-            f"invalid remote cache spec {text!r}; {expected}")
-    try:
-        pairs = parse_qsl(parts.query, keep_blank_values=True,
-                          strict_parsing=True) if parts.query else []
-    except ValueError:
-        raise BatchError(
-            f"invalid options in remote cache spec {text!r}; "
-            f"{expected}")
-    options: dict = {}
-    for key, value in pairs:
-        convert = _TCP_OPTIONS.get(key)
-        if convert is None:
-            raise BatchError(
-                f"unknown option {key!r} in remote cache spec "
-                f"{text!r} (known: {', '.join(sorted(_TCP_OPTIONS))})")
-        try:
-            options[key] = convert(value)
-        except ValueError:
-            raise BatchError(
-                f"invalid value for {key!r} in remote cache spec "
-                f"{text!r}")
-    return RemoteCache(parts.hostname or "127.0.0.1", port, **options)
+    host, port, options = parse_endpoint(text, _TCP_OPTIONS)
+    return RemoteCache(host, port, **options)
 
 
 def _open_file_store(path: Path, text: str, *,

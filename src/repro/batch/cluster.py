@@ -1,0 +1,1104 @@
+"""Distributed execution for the batch engine: multi-host workers.
+
+The cache service (:mod:`repro.batch.service`) made *results* shareable
+across hosts; this module shares the *compute*.  Three pieces close the
+loop:
+
+* :class:`JobServer` -- a TCP broker (the ``repro-agu job-serve``
+  subcommand) that queues picklable batch jobs and leases them out,
+  first come first served, to any number of connected workers.  Leases
+  carry a timeout: a worker that dies mid-job (its connection drops) or
+  goes silent (the lease expires) gets its job requeued and re-leased
+  to the next free worker, so a batch survives worker loss.  The
+  server never unpickles a job -- payloads are routed as opaque bytes
+  between the client that submitted them and the worker that executes
+  them.
+* :class:`Worker` -- the execution loop behind the ``repro-agu
+  worker`` subcommand: connect, lease, execute via the engine's
+  standard :func:`~repro.batch.engine.execute_any` job contract,
+  stream the result back, repeat.
+* :class:`ClusterExecutor` -- the client backend that plugs the fleet
+  into :class:`~repro.batch.engine.BatchCompiler` through the
+  :class:`~repro.batch.engine.Executor` seam
+  (``open_executor("tcp://host:port")`` / ``--executor`` on the CLI),
+  so every experiment runner gains multi-host execution unchanged.
+
+Wire protocol: the PR-4 length-prefixed JSON framing of
+:mod:`repro.batch.service` (:func:`~repro.batch.service.send_frame` /
+:func:`~repro.batch.service.recv_frame`).  Jobs and results travel as
+base64-encoded pickles inside the JSON frames; requests carry an
+``op`` (``ping``, ``status``, ``submit``, ``cancel``, ``lease``,
+``complete``, ``fail``), and a submitted batch's results are *pushed*
+to the client as ``event`` frames (``result``, ``failed``,
+``heartbeat``, and the terminals ``done``/``aborted``) in completion
+order.
+
+Failure philosophy: compute, unlike the cache, is not optional -- a
+dead or unreachable job server fails the batch loudly with a
+:class:`~repro.errors.BatchError` (no silent degradation).  A job
+whose *execution* raises is never requeued (a deterministic failure
+would loop forever); the failure streams back and aborts the batch
+with the engine's standard job attribution, after in-flight survivors
+finish and persist.  A job whose *worker* dies is requeued up to
+``max_attempts`` times, then reported as failed.
+
+Security note: workers unpickle and execute whatever the server hands
+them, and the server relays whatever clients submit.  Run the trio
+only on hosts and networks you trust with arbitrary code execution --
+the same trust the fleet already grants a shared filesystem or a
+deployment system.
+"""
+
+from __future__ import annotations
+
+import base64
+import itertools
+import logging
+import pickle
+import queue
+import socket
+import socketserver
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterator, Sequence
+
+from repro.batch.engine import (
+    ExecutionStream,
+    Executor,
+    JobFailure,
+    execute_any,
+)
+from repro.batch.service import (
+    FrameTooLargeError,
+    _close_socket,
+    format_endpoint,
+    parse_endpoint,
+    recv_frame,
+    send_frame,
+)
+from repro.errors import BatchError
+
+_LOGGER = logging.getLogger("repro.batch.cluster")
+
+#: Hard cap on one blocking lease wait, so a worker poll can never pin
+#: a handler thread indefinitely (workers re-poll in a loop anyway).
+MAX_LEASE_WAIT = 30.0
+
+
+def encode_payload(obj: Any) -> str:
+    """A picklable object as a base64 string (frame-embeddable)."""
+    return base64.b64encode(pickle.dumps(obj)).decode("ascii")
+
+
+def decode_payload(text: str) -> Any:
+    """Rebuild an object from :func:`encode_payload` output."""
+    return pickle.loads(base64.b64decode(text.encode("ascii")))
+
+
+class RemoteJobError(BatchError):
+    """A job failed on a remote worker.
+
+    Carries the worker-side exception's type name and message (the
+    traceback object itself cannot cross the wire); the engine wraps
+    this into its standard job-attributed
+    :class:`~repro.errors.BatchError`, so callers see the same failure
+    shape as for a local run.
+    """
+
+    def __init__(self, message: str, *, error_type: str = "Exception"):
+        super().__init__(message)
+        self.error_type = error_type
+
+
+@dataclass
+class ClusterStats:
+    """Lifetime counters of one :class:`JobServer` (monotonic)."""
+
+    #: Batches accepted from clients.
+    batches: int = 0
+    #: Jobs accepted across all batches.
+    jobs: int = 0
+    #: Jobs that completed with a result.
+    completed: int = 0
+    #: Jobs that failed on a worker (execution raised).
+    failed: int = 0
+    #: Leases requeued after a worker death or lease expiry.
+    requeued: int = 0
+    #: Jobs dropped unrun (batch cancelled, failed, or abandoned).
+    dropped: int = 0
+
+    def __str__(self) -> str:
+        return (f"{self.batches} batch(es), {self.jobs} job(s): "
+                f"{self.completed} completed, {self.failed} failed, "
+                f"{self.requeued} requeued, {self.dropped} dropped")
+
+
+@dataclass
+class _Lease:
+    """One leased job: who may complete it, and since when.
+
+    Carries the opaque job payload so a requeue (worker death, lease
+    expiry) can put the job back on the ready queue without help from
+    the submitting client.
+    """
+
+    lease_id: str
+    batch_id: str
+    index: int
+    payload: str
+    owner: object
+    leased_at: float
+
+
+@dataclass
+class _Batch:
+    """Server-side state of one submitted batch."""
+
+    batch_id: str
+    #: Opaque job payloads by index (only unleased ones remain here).
+    payloads: dict[int, str]
+    #: Indices not yet resolved (result, failure, or drop).
+    unresolved: set[int]
+    #: Events to push to the submitting client, in completion order.
+    events: queue.Queue
+    #: ``running`` -> ``failing`` (a job failed) / ``cancelled`` (the
+    #: client asked to stop) / ``dead`` (the client connection is
+    #: gone; in-flight results are discarded).
+    state: str = "running"
+    #: Lease attempts per index (requeue bookkeeping).
+    attempts: dict[int, int] = field(default_factory=dict)
+
+
+class _JobRequestHandler(socketserver.BaseRequestHandler):
+    """One connection: a submitting client or a leasing worker."""
+
+    def handle(self) -> None:
+        server: JobServer = self.server.job_server  # type: ignore
+        server.track_connection(self.request, alive=True)
+        try:
+            try:
+                first = recv_frame(self.request)
+            except (BatchError, OSError):
+                return
+            if first is None:
+                return
+            if first.get("op") == "submit":
+                self._serve_client(server, first)
+            else:
+                self._serve_worker(server, first)
+        finally:
+            server.track_connection(self.request, alive=False)
+
+    # -- worker connections --------------------------------------------
+    def _serve_worker(self, server: "JobServer", request: dict) -> None:
+        owner = self.request  # connection identity for lease ownership
+        try:
+            while True:
+                try:
+                    response = server.handle_worker_request(request,
+                                                            owner)
+                except Exception as error:  # keep the connection alive
+                    response = {
+                        "ok": False,
+                        "error": f"{type(error).__name__}: {error}"}
+                try:
+                    send_frame(self.request, response)
+                except (BatchError, OSError):
+                    return
+                try:
+                    request = recv_frame(self.request)
+                except (BatchError, OSError):
+                    return
+                if request is None:
+                    return
+        finally:
+            # A vanished worker must not strand its leases: requeue
+            # them so another worker picks the jobs up.
+            server.release_worker(owner)
+
+    # -- client connections --------------------------------------------
+    def _serve_client(self, server: "JobServer", submit: dict) -> None:
+        jobs = submit.get("jobs")
+        if not isinstance(jobs, list) or not jobs or not all(
+                isinstance(payload, str) for payload in jobs):
+            try:
+                send_frame(self.request, {
+                    "ok": False, "error": "'submit' needs a non-empty "
+                                          "list of job payloads"})
+            except (BatchError, OSError):
+                pass
+            return
+        batch = server.create_batch(jobs)
+        try:
+            send_frame(self.request, {
+                "ok": True, "batch": batch.batch_id, "n_jobs": len(jobs),
+                "workers": server.n_connected_workers})
+        except (BatchError, OSError):
+            server.kill_batch(batch.batch_id)
+            return
+
+        # The client may send "cancel" (or just hang up) while results
+        # are being pushed; a side thread watches for both.
+        def watch_for_cancel() -> None:
+            try:
+                while True:
+                    frame = recv_frame(self.request)
+                    if frame is None:
+                        break
+                    if frame.get("op") == "cancel":
+                        server.cancel_batch(batch.batch_id)
+            except (BatchError, OSError):
+                pass
+            # EOF or a broken pipe: the client cannot receive results
+            # anymore, so in-flight completions are discarded.
+            server.kill_batch(batch.batch_id)
+
+        watcher = threading.Thread(target=watch_for_cancel,
+                                   name="repro-job-client-watch",
+                                   daemon=True)
+        watcher.start()
+        self._push_events(server, batch)
+
+    def _push_events(self, server: "JobServer", batch: _Batch) -> None:
+        while True:
+            try:
+                event = batch.events.get(timeout=server.heartbeat)
+            except queue.Empty:
+                event = {"event": "heartbeat"}
+            try:
+                send_frame(self.request, event)
+            except FrameTooLargeError:
+                # One oversized result must not desync the stream (no
+                # bytes were sent): report that job as failed instead.
+                try:
+                    send_frame(self.request, {
+                        "event": "failed", "index": event.get("index"),
+                        "error": "result too large for one protocol "
+                                 "frame", "error_type": "FrameTooLarge"})
+                except (BatchError, OSError):
+                    server.kill_batch(batch.batch_id)
+                    return
+            except (BatchError, OSError):
+                server.kill_batch(batch.batch_id)
+                return
+            if event.get("event") in ("done", "aborted"):
+                return
+
+
+class _TcpServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class _TcpServer6(_TcpServer):
+    address_family = socket.AF_INET6
+
+
+class JobServer:
+    """Queue batch jobs and lease them to a fleet of workers over TCP.
+
+    Parameters
+    ----------
+    host, port:
+        Bind address; ``port=0`` picks an ephemeral port (see
+        :attr:`address` / :attr:`endpoint`).
+    lease_timeout:
+        Seconds a worker may hold a lease before the job is presumed
+        lost and requeued.  Size it above the slowest expected job; a
+        too-small value costs duplicate compute, never correctness
+        (stale completions are ignored).
+    max_attempts:
+        Lease attempts per job before the server gives up and reports
+        the job failed (guards against a job that kills every worker
+        it touches).
+    heartbeat:
+        Quiet-connection keepalive interval of the client result
+        stream.
+
+    Run blocking with :meth:`serve_forever` (the CLI does) or on a
+    background thread via :meth:`start` / the context-manager form
+    (tests and benchmarks do).
+
+    Example::
+
+        >>> from repro.batch.cluster import JobServer, Worker
+        >>> from repro.batch.engine import BatchCompiler
+        >>> with JobServer() as server:           # doctest: +SKIP
+        ...     # start `repro-agu worker tcp://...` processes, then:
+        ...     compiler = BatchCompiler(executor=server.endpoint)
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
+                 lease_timeout: float = 60.0, max_attempts: int = 3,
+                 heartbeat: float = 2.0):
+        if lease_timeout <= 0:
+            raise BatchError(
+                f"lease_timeout must be > 0 seconds, got {lease_timeout}")
+        if max_attempts < 1:
+            raise BatchError(
+                f"max_attempts must be >= 1, got {max_attempts}")
+        self.lease_timeout = float(lease_timeout)
+        self.max_attempts = int(max_attempts)
+        self.heartbeat = float(heartbeat)
+        self.stats = ClusterStats()
+        self._lock = threading.Lock()
+        self._work = threading.Condition(self._lock)
+        self._batches: dict[str, _Batch] = {}
+        self._ready: deque[tuple[str, int]] = deque()
+        self._leases: dict[str, _Lease] = {}
+        self._workers: set[object] = set()
+        self._ids = itertools.count(1)
+        server_class = _TcpServer6 if ":" in host else _TcpServer
+        self._server = server_class((host, port), _JobRequestHandler)
+        self._server.job_server = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+        self._reaper: threading.Thread | None = None
+        self._served = False
+        self._closing = False
+        self._connections: set[socket.socket] = set()
+        self._connections_lock = threading.Lock()
+
+    # -- addressing ----------------------------------------------------
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)``."""
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def endpoint(self) -> str:
+        """The ``tcp://host:port`` spec clients and workers connect to
+        (IPv6 hosts come bracketed, ready for ``open_executor``)."""
+        return format_endpoint(*self.address)
+
+    @property
+    def n_connected_workers(self) -> int:
+        """Workers currently connected (lease loops, not leases)."""
+        with self._lock:
+            return len(self._workers)
+
+    # -- connection bookkeeping (mirrors CacheServer) ------------------
+    def track_connection(self, sock: socket.socket, alive: bool) -> None:
+        """Handler bookkeeping so :meth:`shutdown` can close live
+        connections; a connection registering after shutdown started
+        is closed on the spot."""
+        with self._connections_lock:
+            if not alive:
+                self._connections.discard(sock)
+                return
+            if not self._closing:
+                self._connections.add(sock)
+                return
+        _close_socket(sock)
+
+    def register_worker(self, owner: object) -> None:
+        """Note a live worker connection.  Called on the first
+        ``lease`` op, not on connect, so diagnostic connections
+        (``ping``/``status`` probes) never inflate the worker count
+        reported to clients."""
+        with self._lock:
+            self._workers.add(owner)
+
+    def release_worker(self, owner: object) -> None:
+        """Worker connection gone: requeue every lease it still held."""
+        with self._lock:
+            self._workers.discard(owner)
+            stranded = [lease for lease in self._leases.values()
+                        if lease.owner is owner]
+            for lease in stranded:
+                self._requeue_locked(lease, reason="worker disconnected")
+
+    # -- the scheduler (all under self._lock) --------------------------
+    def create_batch(self, payloads: Sequence[str]) -> _Batch:
+        """Register a submitted batch and queue its jobs FIFO."""
+        with self._lock:
+            batch_id = f"b{next(self._ids)}"
+            batch = _Batch(
+                batch_id=batch_id,
+                payloads=dict(enumerate(payloads)),
+                unresolved=set(range(len(payloads))),
+                events=queue.Queue())
+            self._batches[batch_id] = batch
+            self._ready.extend((batch_id, index)
+                               for index in range(len(payloads)))
+            self.stats.batches += 1
+            self.stats.jobs += len(payloads)
+            self._work.notify_all()
+            return batch
+
+    def _pop_ready_locked(self) -> tuple[_Batch, int] | None:
+        while self._ready:
+            batch_id, index = self._ready.popleft()
+            batch = self._batches.get(batch_id)
+            if batch is None or batch.state != "running" \
+                    or index not in batch.payloads:
+                continue
+            return batch, index
+        return None
+
+    def lease(self, owner: object, wait: float) -> dict:
+        """Lease the next queued job to ``owner``; blocks up to
+        ``wait`` seconds (capped) when the queue is empty."""
+        deadline = time.monotonic() + max(0.0, min(wait, MAX_LEASE_WAIT))
+        with self._lock:
+            while True:
+                entry = self._pop_ready_locked()
+                if entry is not None:
+                    batch, index = entry
+                    payload = batch.payloads.pop(index)
+                    lease = _Lease(
+                        lease_id=f"l{next(self._ids)}",
+                        batch_id=batch.batch_id, index=index,
+                        payload=payload, owner=owner,
+                        leased_at=time.monotonic())
+                    self._leases[lease.lease_id] = lease
+                    batch.attempts[index] = \
+                        batch.attempts.get(index, 0) + 1
+                    return {"ok": True, "lease": lease.lease_id,
+                            "batch": batch.batch_id, "index": index,
+                            "job": payload}
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return {"ok": True, "idle": True}
+                self._work.wait(remaining)
+
+    def _take_lease_locked(self, lease_id: str) -> _Lease | None:
+        return self._leases.pop(lease_id, None)
+
+    def complete(self, lease_id: str, result_payload: str) -> dict:
+        """Accept a worker's result; stale leases are acknowledged but
+        ignored (the job was requeued, or its batch is gone)."""
+        with self._lock:
+            lease = self._take_lease_locked(lease_id)
+            if lease is None:
+                return {"ok": True, "stale": True}
+            batch = self._batches.get(lease.batch_id)
+            if batch is None or lease.index not in batch.unresolved:
+                return {"ok": True, "stale": True}
+            self.stats.completed += 1
+            if batch.state != "dead":
+                batch.events.put({"event": "result",
+                                  "index": lease.index,
+                                  "result": result_payload})
+            self._resolve_locked(batch, lease.index)
+            return {"ok": True}
+
+    def fail(self, lease_id: str, error: str, error_type: str) -> dict:
+        """Accept a worker's job-failure report: the batch stops
+        scheduling new jobs, in-flight ones drain, queued ones drop."""
+        with self._lock:
+            lease = self._take_lease_locked(lease_id)
+            if lease is None:
+                return {"ok": True, "stale": True}
+            batch = self._batches.get(lease.batch_id)
+            if batch is None or lease.index not in batch.unresolved:
+                return {"ok": True, "stale": True}
+            self.stats.failed += 1
+            if batch.state == "running":
+                batch.state = "failing"
+            self._drop_queued_locked(batch)
+            if batch.state != "dead":
+                batch.events.put({"event": "failed",
+                                  "index": lease.index,
+                                  "error": error,
+                                  "error_type": error_type})
+            self._resolve_locked(batch, lease.index)
+            return {"ok": True}
+
+    def cancel_batch(self, batch_id: str) -> None:
+        """Client-requested stop: queued jobs drop, leased jobs finish
+        and stream back (the client drains them for salvage)."""
+        with self._lock:
+            batch = self._batches.get(batch_id)
+            if batch is None:
+                return
+            if batch.state == "running":
+                batch.state = "cancelled"
+            self._drop_queued_locked(batch)
+            self._check_terminal_locked(batch)
+
+    def kill_batch(self, batch_id: str) -> None:
+        """The client is gone: drop queued jobs and discard whatever
+        the in-flight leases still produce."""
+        with self._lock:
+            batch = self._batches.pop(batch_id, None)
+            if batch is None:
+                return
+            batch.state = "dead"
+            self._drop_queued_locked(batch)
+            # Unblock a push loop waiting on the events queue.
+            batch.events.put({"event": "aborted"})
+
+    def _drop_queued_locked(self, batch: _Batch) -> None:
+        for index in list(batch.payloads):
+            del batch.payloads[index]
+            batch.unresolved.discard(index)
+            self.stats.dropped += 1
+
+    def _resolve_locked(self, batch: _Batch, index: int) -> None:
+        batch.unresolved.discard(index)
+        self._check_terminal_locked(batch)
+
+    def _check_terminal_locked(self, batch: _Batch) -> None:
+        if batch.unresolved:
+            return
+        terminal = "done" if batch.state == "running" else "aborted"
+        if batch.state != "dead":
+            batch.events.put({"event": terminal})
+        self._batches.pop(batch.batch_id, None)
+
+    def _requeue_locked(self, lease: _Lease,
+                        reason: str) -> None:
+        if self._leases.pop(lease.lease_id, None) is None:
+            return  # already resolved or requeued by another path
+        batch = self._batches.get(lease.batch_id)
+        if batch is None or lease.index not in batch.unresolved \
+                or lease.index in batch.payloads:
+            return
+        if batch.state != "running":
+            # A draining batch has no use for a re-run: resolve the
+            # slot as dropped so the terminal event can fire.
+            self.stats.dropped += 1
+            self._resolve_locked(batch, lease.index)
+            return
+        if batch.attempts.get(lease.index, 0) >= self.max_attempts:
+            _LOGGER.warning(
+                "giving up on job %d of batch %s after %d lease(s)",
+                lease.index, batch.batch_id, self.max_attempts)
+            self.stats.failed += 1
+            batch.state = "failing"
+            self._drop_queued_locked(batch)
+            batch.events.put({
+                "event": "failed", "index": lease.index,
+                "error": f"job lost {self.max_attempts} worker(s) "
+                         f"({reason}); giving up",
+                "error_type": "WorkerLost"})
+            self._resolve_locked(batch, lease.index)
+            return
+        _LOGGER.info("requeueing job %d of batch %s (%s)",
+                     lease.index, batch.batch_id, reason)
+        self.stats.requeued += 1
+        # Recover the payload from the lease-time snapshot: payloads
+        # are popped at lease time, so stash it back via the lease.
+        batch.payloads[lease.index] = lease.payload
+        self._ready.appendleft((lease.batch_id, lease.index))
+        self._work.notify()
+
+    def reap_expired_leases(self) -> int:
+        """Requeue every lease older than ``lease_timeout``; returns
+        how many were reaped (the reaper thread calls this; tests may
+        call it directly for determinism)."""
+        now = time.monotonic()
+        with self._lock:
+            expired = [lease for lease in self._leases.values()
+                       if now - lease.leased_at > self.lease_timeout]
+            for lease in expired:
+                self._requeue_locked(lease, reason="lease expired")
+            return len(expired)
+
+    # -- the worker-facing protocol ------------------------------------
+    def handle_worker_request(self, request: dict,
+                              owner: object) -> dict:
+        """Answer one worker/diagnostic frame (exposed for protocol
+        tests)."""
+        op = request.get("op")
+        if op == "ping":
+            return {"ok": True, "server": "repro-agu job-serve"}
+        if op == "status":
+            with self._lock:
+                queued = sum(
+                    1 for batch_id, index in self._ready
+                    if batch_id in self._batches
+                    and index in self._batches[batch_id].payloads)
+                return {"ok": True, "workers": len(self._workers),
+                        "queued": queued, "leased": len(self._leases),
+                        "batches": len(self._batches),
+                        "completed": self.stats.completed,
+                        "failed": self.stats.failed,
+                        "requeued": self.stats.requeued}
+        if op == "lease":
+            wait = request.get("wait", 0.0)
+            if not isinstance(wait, (int, float)) or wait < 0:
+                return {"ok": False,
+                        "error": "'lease' needs a non-negative 'wait'"}
+            self.register_worker(owner)
+            return self.lease(owner, float(wait))
+        if op == "complete":
+            lease_id = request.get("lease")
+            result = request.get("result")
+            if not isinstance(lease_id, str) \
+                    or not isinstance(result, str):
+                return {"ok": False,
+                        "error": "'complete' needs a string 'lease' "
+                                 "and a string 'result'"}
+            return self.complete(lease_id, result)
+        if op == "fail":
+            lease_id = request.get("lease")
+            if not isinstance(lease_id, str):
+                return {"ok": False,
+                        "error": "'fail' needs a string 'lease'"}
+            return self.fail(lease_id,
+                             str(request.get("error", "unknown error")),
+                             str(request.get("error_type", "Exception")))
+        return {"ok": False, "error": f"unknown op {op!r}"}
+
+    # -- lifecycle -----------------------------------------------------
+    def _start_reaper(self) -> None:
+        if self._reaper is not None:
+            return
+
+        def reap_loop() -> None:
+            interval = max(0.1, min(1.0, self.lease_timeout / 4))
+            while self._served:
+                time.sleep(interval)
+                try:
+                    self.reap_expired_leases()
+                except Exception:  # pragma: no cover - belt and braces
+                    _LOGGER.exception("lease reaper iteration failed")
+
+        self._reaper = threading.Thread(target=reap_loop,
+                                        name="repro-job-reaper",
+                                        daemon=True)
+        self._reaper.start()
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown`."""
+        self._served = True
+        self._start_reaper()
+        self._server.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "JobServer":
+        """Serve on a daemon background thread; returns ``self``."""
+        self._served = True
+        self._start_reaper()
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-job-server", daemon=True)
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop serving: close the listener and every live connection
+        (clients see the drop as a loud batch failure, workers exit
+        their loops); idempotent."""
+        if self._served:
+            self._server.shutdown()
+            self._served = False
+        self._server.server_close()
+        with self._connections_lock:
+            self._closing = True
+            live, self._connections = self._connections, set()
+        for sock in live:
+            _close_socket(sock)
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if self._reaper is not None:
+            self._reaper.join(timeout=5.0)
+            self._reaper = None
+
+    def __enter__(self) -> "JobServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+
+# ----------------------------------------------------------------------
+# The worker loop
+# ----------------------------------------------------------------------
+class Worker:
+    """Lease-execute-report loop against a :class:`JobServer`.
+
+    The execution contract is exactly the engine's: a leased job runs
+    through :func:`~repro.batch.engine.execute_any` (so ``BatchJob``
+    compilation units, statistical grid points, and experiment points
+    all work), its result streams back pickled, and an execution
+    exception is reported as a job failure -- never retried, never
+    fatal to the worker.
+
+    Parameters
+    ----------
+    host, port:
+        The job server to serve.
+    poll:
+        Seconds one blocking lease request waits server-side before
+        answering "idle" (the worker then immediately re-polls).
+    timeout:
+        Per-request socket timeout; must exceed ``poll``.
+    max_jobs:
+        Exit after executing this many jobs (``None`` = run forever).
+    idle_exit:
+        Exit after this many consecutive seconds without work
+        (``None`` = run forever); what CI smokes and tests use.
+    connect_retry:
+        Seconds to keep retrying the initial connection, so workers
+        may start before their server.
+    on_event:
+        Optional callback ``(kind, detail)`` for per-job logging
+        (kinds: ``connected``, ``executed``, ``failed``, ``idle``).
+
+    Example::
+
+        >>> from repro.batch.cluster import JobServer, Worker
+        >>> with JobServer() as server:
+        ...     worker = Worker(*server.address, max_jobs=0)
+        ...     worker.run()
+        0
+    """
+
+    def __init__(self, host: str, port: int, *, poll: float = 2.0,
+                 timeout: float = 30.0, max_jobs: int | None = None,
+                 idle_exit: float | None = None,
+                 connect_retry: float = 10.0,
+                 on_event: Callable[[str, str], None] | None = None):
+        if not 1 <= int(port) <= 65535:
+            raise BatchError(
+                f"job server port must be in 1..65535, got {port}")
+        if timeout <= poll:
+            raise BatchError(
+                f"timeout ({timeout}) must exceed poll ({poll})")
+        self.host = host
+        self.port = int(port)
+        self.poll = float(poll)
+        self.timeout = float(timeout)
+        self.max_jobs = max_jobs
+        self.idle_exit = idle_exit
+        self.connect_retry = float(connect_retry)
+        self._on_event = on_event or (lambda kind, detail: None)
+        self._sock: socket.socket | None = None
+        self._stopping = threading.Event()
+        #: Jobs executed so far (readable mid-run and after interrupts).
+        self.jobs_executed = 0
+
+    @property
+    def endpoint(self) -> str:
+        """The served job server as a ``tcp://`` spec."""
+        return format_endpoint(self.host, self.port)
+
+    def _connect(self) -> socket.socket:
+        deadline = time.monotonic() + self.connect_retry
+        while True:
+            try:
+                sock = socket.create_connection(
+                    (self.host, self.port), timeout=self.timeout)
+                sock.settimeout(self.timeout)
+                return sock
+            except OSError as error:
+                if time.monotonic() >= deadline:
+                    raise BatchError(
+                        f"cannot reach job server {self.endpoint}: "
+                        f"{error}")
+                time.sleep(0.2)
+
+    def _request(self, message: dict) -> dict:
+        if self._sock is None:
+            self._sock = self._connect()
+            self._on_event("connected", self.endpoint)
+        try:
+            send_frame(self._sock, message)
+            response = recv_frame(self._sock)
+        except FrameTooLargeError:
+            # A local serialization limit: no bytes hit the socket,
+            # the connection is still in protocol sync.  Callers (the
+            # oversized-result path in run()) decide what to drop;
+            # this is never "the server is gone".
+            raise
+        except (OSError, BatchError) as error:
+            _close_socket(self._sock)
+            self._sock = None
+            raise BatchError(
+                f"lost the job server {self.endpoint}: {error}")
+        if response is None:
+            _close_socket(self._sock)
+            self._sock = None
+            raise BatchError(
+                f"job server {self.endpoint} closed the connection")
+        if not response.get("ok"):
+            raise BatchError(
+                f"job server {self.endpoint} rejected {message.get('op')!r}: "
+                f"{response.get('error')}")
+        return response
+
+    def close(self) -> None:
+        """Drop the connection (idempotent)."""
+        if self._sock is not None:
+            _close_socket(self._sock)
+            self._sock = None
+
+    def stop(self) -> None:
+        """Ask :meth:`run` to exit after its in-flight request
+        (thread-safe; what the CLI's signal handler calls)."""
+        self._stopping.set()
+
+    def run(self) -> int:
+        """Serve until a stop condition; returns jobs executed.
+
+        Raises :class:`~repro.errors.BatchError` when the server goes
+        away (after the initial ``connect_retry`` grace) -- unless
+        :meth:`stop` was requested, which exits quietly.
+        """
+        idle_since: float | None = None
+        try:
+            while not self._stopping.is_set() \
+                    and (self.max_jobs is None
+                         or self.jobs_executed < self.max_jobs):
+                try:
+                    response = self._request({"op": "lease",
+                                              "wait": self.poll})
+                except BatchError:
+                    if self._stopping.is_set():
+                        break
+                    raise
+                if response.get("idle"):
+                    self._on_event("idle", "")
+                    now = time.monotonic()
+                    idle_since = idle_since if idle_since is not None \
+                        else now
+                    if self.idle_exit is not None \
+                            and now - idle_since >= self.idle_exit:
+                        break
+                    continue
+                idle_since = None
+                lease_id = response["lease"]
+                job = decode_payload(response["job"])
+                name = getattr(job, "name", "<unnamed>")
+                started = time.perf_counter()
+                try:
+                    result = execute_any(job)
+                except Exception as error:
+                    self._request({
+                        "op": "fail", "lease": lease_id,
+                        "error": str(error),
+                        "error_type": type(error).__name__})
+                    self._on_event(
+                        "failed",
+                        f"{name}: {type(error).__name__}: {error}")
+                else:
+                    try:
+                        self._request({
+                            "op": "complete", "lease": lease_id,
+                            "result": encode_payload(result)})
+                    except FrameTooLargeError as error:
+                        # The result, not the server, is the problem:
+                        # report the job failed instead of dying and
+                        # taking the next worker down the same way.
+                        self._request({
+                            "op": "fail", "lease": lease_id,
+                            "error": f"result too large for one "
+                                     f"protocol frame: {error}",
+                            "error_type": "FrameTooLarge"})
+                        self._on_event(
+                            "failed", f"{name}: result too large")
+                    else:
+                        elapsed = time.perf_counter() - started
+                        self._on_event(
+                            "executed",
+                            f"{name} ({1000 * elapsed:.0f} ms)")
+                self.jobs_executed += 1
+        finally:
+            self.close()
+        return self.jobs_executed
+
+
+# ----------------------------------------------------------------------
+# The executor-side client
+# ----------------------------------------------------------------------
+class _ClusterStream(ExecutionStream):
+    """One submitted batch, streaming back from the job server."""
+
+    def __init__(self, executor: "ClusterExecutor", jobs: Sequence):
+        self._endpoint = executor.endpoint
+        self._timeout = executor.timeout
+        self._total = len(jobs)
+        self._delivered: set[int] = set()
+        self._terminal = False
+        self._sock: socket.socket | None = None
+        if not jobs:
+            self._terminal = True
+            return
+        sock: socket.socket | None = None
+        try:
+            sock = socket.create_connection(
+                (executor.host, executor.port), timeout=self._timeout)
+            sock.settimeout(self._timeout)
+            send_frame(sock, {"op": "submit",
+                              "jobs": [encode_payload(job)
+                                       for job in jobs]})
+            ack = recv_frame(sock)
+        except FrameTooLargeError as error:
+            _close_socket(sock)
+            raise BatchError(
+                f"batch of {len(jobs)} job(s) does not fit one submit "
+                f"frame ({error}); split the batch")
+        except OSError as error:
+            if sock is not None:
+                _close_socket(sock)
+            raise BatchError(
+                f"cannot reach job server {self._endpoint}: {error} "
+                f"(is `repro-agu job-serve` running?)")
+        except BatchError as error:
+            _close_socket(sock)
+            raise BatchError(
+                f"job server {self._endpoint} broke protocol during "
+                f"submit: {error}")
+        if ack is None or not ack.get("ok"):
+            _close_socket(sock)
+            raise BatchError(
+                f"job server {self._endpoint} rejected the batch: "
+                f"{(ack or {}).get('error', 'connection closed')}")
+        self._sock = sock
+        executor.n_workers = max(1, int(ack.get("workers", 1)))
+        if int(ack.get("workers", 0)) < 1:
+            # Compute is not optional, but an empty fleet is not an
+            # error either -- workers may still be starting.  Say so
+            # instead of waiting in silence.
+            _LOGGER.warning(
+                "job server %s has no connected workers yet; the "
+                "batch will wait until `repro-agu worker %s` "
+                "processes join", self._endpoint, self._endpoint)
+
+    def _close(self) -> None:
+        if self._sock is not None:
+            _close_socket(self._sock)
+            self._sock = None
+
+    def _next_event(self) -> dict:
+        assert self._sock is not None
+        try:
+            frame = recv_frame(self._sock)
+        except socket.timeout:
+            raise BatchError(
+                f"job server {self._endpoint} went silent (no result "
+                f"or heartbeat within {self._timeout:.0f} s)")
+        except OSError as error:
+            raise BatchError(
+                f"lost the job server {self._endpoint}: {error}")
+        if frame is None:
+            raise BatchError(
+                f"job server {self._endpoint} closed the connection "
+                f"mid-batch")
+        return frame
+
+    def __iter__(self) -> Iterator[tuple[int, Any]]:
+        while not self._terminal:
+            event = self._next_event()
+            kind = event.get("event")
+            if kind == "heartbeat":
+                continue
+            if kind == "result":
+                index = int(event["index"])
+                result = decode_payload(event["result"])
+                self._delivered.add(index)
+                yield index, result
+                continue
+            if kind == "failed":
+                index = int(event.get("index") or 0)
+                raise JobFailure(index, RemoteJobError(
+                    f"{event.get('error_type', 'Exception')}: "
+                    f"{event.get('error', 'unknown error')}",
+                    error_type=str(event.get("error_type",
+                                             "Exception"))))
+            if kind in ("done", "aborted"):
+                self._terminal = True
+                self._close()
+                return
+            raise BatchError(
+                f"job server {self._endpoint} sent an unknown event "
+                f"{kind!r}")
+
+    def shutdown(self) -> dict[int, Any]:
+        if self._terminal or self._sock is None:
+            self._close()
+            return {}
+        salvage: dict[int, Any] = {}
+        try:
+            # Ask the server to stop scheduling, then drain: leased
+            # jobs finish on their workers and stream back, exactly
+            # like a local pool's shutdown(wait=True).
+            send_frame(self._sock, {"op": "cancel"})
+            while True:
+                event = self._next_event()
+                kind = event.get("event")
+                if kind == "result":
+                    index = int(event["index"])
+                    if index not in self._delivered:
+                        salvage[index] = decode_payload(event["result"])
+                        self._delivered.add(index)
+                elif kind in ("done", "aborted"):
+                    break
+        except (OSError, BatchError):
+            # Teardown is best-effort: a dead server mid-drain costs
+            # the salvage, never displaces the propagating error.
+            _LOGGER.warning(
+                "lost the job server while draining a cancelled "
+                "batch; in-flight results were not salvaged")
+        finally:
+            self._terminal = True
+            self._close()
+        return salvage
+
+
+class ClusterExecutor(Executor):
+    """Run batches on a multi-host worker fleet behind a job server.
+
+    The :class:`~repro.batch.engine.Executor` backend of
+    ``open_executor("tcp://HOST:PORT")`` and the CLI's ``--executor``:
+    jobs are pickled to the server, leased to ``repro-agu worker``
+    processes anywhere on the network, and results stream back in
+    completion order.  Failure semantics match the local backends
+    exactly -- a failing job aborts the batch with the engine's
+    job-attributed :class:`~repro.errors.BatchError` after in-flight
+    survivors finish and persist, and a worker death mid-job is
+    invisible (the server requeues the lease).
+
+    Unlike the cache client, a dead *server* fails the batch loudly:
+    compute is not optional.
+
+    Example::
+
+        >>> from repro.batch.engine import BatchCompiler
+        >>> compiler = BatchCompiler(              # doctest: +SKIP
+        ...     executor="tcp://job-host:8742")
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 30.0):
+        if not 1 <= int(port) <= 65535:
+            raise BatchError(
+                f"job server port must be in 1..65535, got {port}")
+        if timeout <= 0:
+            raise BatchError(
+                f"timeout must be > 0 seconds, got {timeout}")
+        self.host = host
+        self.port = int(port)
+        self.timeout = float(timeout)
+        #: Updated per run from the server's connected-worker count.
+        self.n_workers = 1
+
+    @property
+    def endpoint(self) -> str:
+        """This executor's server as a ``tcp://`` spec."""
+        return format_endpoint(self.host, self.port)
+
+    def __repr__(self) -> str:
+        return f"ClusterExecutor({self.endpoint!r})"
+
+    def run(self, jobs: Sequence) -> ExecutionStream:
+        """Submit ``jobs`` to the server; returns the result stream."""
+        return _ClusterStream(self, jobs)
+
+
+#: ``?key=value`` options ``tcp://`` executor specs may carry.
+_EXECUTOR_OPTIONS = {"timeout": float}
+
+
+def cluster_executor_from_spec(text: str) -> ClusterExecutor:
+    """``tcp://HOST:PORT[?timeout=S]`` -> a :class:`ClusterExecutor`
+    (what :func:`~repro.batch.engine.open_executor` delegates to).
+    The spec grammar is the batch layer's shared
+    :func:`~repro.batch.service.parse_endpoint`."""
+    host, port, options = parse_endpoint(text, _EXECUTOR_OPTIONS)
+    return ClusterExecutor(host, port, **options)

@@ -28,6 +28,18 @@ live progress and incremental persistence.  Both run any job type that
 offers the ``execute()``/``payload()`` protocol -- compilation units
 (:class:`~repro.batch.jobs.BatchJob`) and statistical grid points
 (:class:`~repro.batch.jobs.StatisticalGridJob`) alike.
+
+*Where* cache misses execute is an :class:`Executor`: inline on the
+calling process (:class:`InlineExecutor`), on a ``concurrent.futures``
+process pool (:class:`LocalPoolExecutor`), or leased out to a fleet of
+``repro-agu worker`` processes on any number of hosts
+(:class:`~repro.batch.cluster.ClusterExecutor`).  :func:`open_executor`
+maps CLI-style spec strings (``inline``, ``local:N``,
+``tcp://HOST:PORT``) to executors, mirroring
+:func:`~repro.batch.cache.open_cache`; every executor honors the same
+failure contract (a :class:`~repro.errors.BatchError` naming the
+failing job, completed work persisted before the error propagates), so
+the engine's callers cannot tell them apart except by speed.
 """
 
 from __future__ import annotations
@@ -35,6 +47,8 @@ from __future__ import annotations
 import copy
 import dataclasses
 import logging
+import os
+import re
 import time
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import as_completed as _futures_as_completed
@@ -172,6 +186,231 @@ def _job_failure(job, digest: str, error: Exception) -> BatchError:
         job_name=name, digest=digest)
 
 
+# ----------------------------------------------------------------------
+# The executor seam: where cache misses run
+# ----------------------------------------------------------------------
+class JobFailure(Exception):
+    """Internal executor signal: the job at ``index`` (a position in
+    the sequence handed to :meth:`Executor.run`) failed with ``cause``.
+
+    Executors raise this from their streams instead of a finished
+    :class:`~repro.errors.BatchError` because only the engine knows the
+    job's digest and display name; it converts via ``_job_failure`` so
+    every backend produces byte-for-byte the same error shape.
+    """
+
+    def __init__(self, index: int, cause: Exception):
+        super().__init__(f"job #{index} failed: {cause}")
+        self.index = index
+        self.cause = cause
+
+
+class ExecutionStream:
+    """One in-flight batch on an :class:`Executor`.
+
+    Iterating yields ``(index, result)`` pairs in *completion* order,
+    where ``index`` is the job's position in the submitted sequence; a
+    failing job aborts the iteration with :class:`JobFailure`.
+    :meth:`shutdown` is the teardown hook: stop scheduling new work,
+    wait out whatever is already executing, and hand back the completed
+    results the iteration never delivered, so the engine can persist
+    them before an error propagates.
+    """
+
+    def __iter__(self) -> Iterator[tuple[int, Any]]:
+        raise NotImplementedError
+
+    def shutdown(self) -> dict[int, Any]:
+        """Tear the stream down (idempotent); returns completed results
+        that were never yielded, keyed by job index."""
+        raise NotImplementedError
+
+
+class Executor:
+    """Abstract execution backend of :class:`BatchCompiler`.
+
+    An executor decides *where* a batch's cache misses run; the engine
+    owns everything else (digests, dedup, caching, salvage, failure
+    attribution).  Implementations: :class:`InlineExecutor` (the
+    calling process), :class:`LocalPoolExecutor` (a process pool), and
+    :class:`~repro.batch.cluster.ClusterExecutor` (a multi-host worker
+    fleet behind a job server).  Construct one directly or from a spec
+    string via :func:`open_executor`.
+
+    Example::
+
+        >>> from repro.batch.engine import BatchCompiler, open_executor
+        >>> compiler = BatchCompiler(executor=open_executor("local:2"))
+    """
+
+    #: Best-effort parallelism width, for reports.  The cluster
+    #: executor updates it per run from the server's connected-worker
+    #: count; local executors pin it at construction.
+    n_workers: int = 1
+
+    def run(self, jobs: Sequence) -> ExecutionStream:
+        """Start executing ``jobs``; returns the result stream."""
+        raise NotImplementedError
+
+
+class _InlineStream(ExecutionStream):
+    """Serial execution on the calling process; nothing is ever in
+    flight between results, so teardown salvage is always empty."""
+
+    def __init__(self, jobs: Sequence):
+        self._jobs = list(jobs)
+
+    def __iter__(self) -> Iterator[tuple[int, Any]]:
+        for index, job in enumerate(self._jobs):
+            try:
+                result = execute_any(job)
+            except Exception as error:
+                raise JobFailure(index, error) from error
+            yield index, result
+
+    def shutdown(self) -> dict[int, Any]:
+        return {}
+
+
+class InlineExecutor(Executor):
+    """Run every job serially on the calling process.
+
+    The ``n_workers=1`` backend: deterministic ordering, no fork cost,
+    and exceptions keep their original tracebacks.
+
+    Example::
+
+        >>> from repro.batch.engine import BatchCompiler, InlineExecutor
+        >>> compiler = BatchCompiler(executor=InlineExecutor())
+    """
+
+    def run(self, jobs: Sequence) -> ExecutionStream:
+        """Start executing ``jobs`` serially; returns the inline
+        stream."""
+        return _InlineStream(jobs)
+
+
+class _PoolStream(ExecutionStream):
+    """A batch fanned out over a ``ProcessPoolExecutor``."""
+
+    def __init__(self, jobs: Sequence, max_workers: int):
+        self._pool = ProcessPoolExecutor(
+            max_workers=min(max_workers, len(jobs)))
+        self._index = {self._pool.submit(execute_any, job): position
+                       for position, job in enumerate(jobs)}
+        self._delivered: set[int] = set()
+        self._shut = False
+
+    def __iter__(self) -> Iterator[tuple[int, Any]]:
+        for future in _futures_as_completed(self._index):
+            position = self._index[future]
+            try:
+                result = future.result()
+            except Exception as error:
+                raise JobFailure(position, error) from error
+            self._delivered.add(position)
+            yield position, result
+
+    def shutdown(self) -> dict[int, Any]:
+        if self._shut:
+            return {}
+        self._shut = True
+        # Stop paying for what never started, let in-flight jobs
+        # finish, and hand their drained completions to the engine.
+        self._pool.shutdown(wait=True, cancel_futures=True)
+        return {position: future.result()
+                for future, position in self._index.items()
+                if position not in self._delivered
+                and future.done() and not future.cancelled()
+                and future.exception() is None}
+
+
+class LocalPoolExecutor(Executor):
+    """Fan jobs out over a local ``concurrent.futures`` process pool.
+
+    Batches of one job short-circuit to inline execution -- a pool
+    would only add fork cost.
+
+    Example::
+
+        >>> from repro.batch.engine import BatchCompiler, LocalPoolExecutor
+        >>> compiler = BatchCompiler(executor=LocalPoolExecutor(4))
+    """
+
+    def __init__(self, n_workers: int):
+        if n_workers < 1:
+            raise BatchError(
+                f"n_workers must be >= 1, got {n_workers}")
+        self.n_workers = n_workers
+
+    def run(self, jobs: Sequence) -> ExecutionStream:
+        """Fan ``jobs`` out over the pool (single-job batches run
+        inline)."""
+        if self.n_workers == 1 or len(jobs) <= 1:
+            return _InlineStream(jobs)
+        return _PoolStream(jobs, self.n_workers)
+
+
+#: The spec schemes :func:`open_executor` understands.  Like
+#: :data:`~repro.batch.cache.KNOWN_CACHE_SCHEMES`, matching is
+#: restricted so unknown specs fail loudly instead of silently
+#: executing somewhere unintended.
+KNOWN_EXECUTOR_SCHEMES = ("inline", "local", "tcp")
+
+_EXECUTOR_URL_LIKE = re.compile(r"^(?P<scheme>[A-Za-z][A-Za-z0-9+.-]*)://")
+
+
+def open_executor(spec) -> Executor:
+    """Open an execution backend from a spec string.
+
+    * ``inline`` -- run jobs serially on the calling process;
+    * ``local`` or ``local:N`` -- a process pool of ``N`` workers
+      (``local`` alone uses every CPU);
+    * ``tcp://HOST:PORT`` -- a
+      :class:`~repro.batch.cluster.ClusterExecutor` client against a
+      running ``repro-agu job-serve`` (the multi-host choice).
+
+    An :class:`Executor` instance passes through unchanged, so APIs
+    can accept either form.  Unknown schemes and malformed specs are
+    rejected loudly, mirroring :func:`~repro.batch.cache.open_cache`.
+
+    Example::
+
+        >>> open_executor("inline")            # doctest: +ELLIPSIS
+        <repro.batch.engine.InlineExecutor object at ...>
+        >>> open_executor("local:2").n_workers
+        2
+    """
+    if isinstance(spec, Executor):
+        return spec
+    text = str(spec)
+    match = _EXECUTOR_URL_LIKE.match(text)
+    if match is not None:
+        scheme = match["scheme"].lower()
+        if scheme == "tcp":
+            from repro.batch.cluster import cluster_executor_from_spec
+
+            return cluster_executor_from_spec(text)
+        raise BatchError(
+            f"unknown executor scheme {match['scheme']!r} in spec "
+            f"{text!r} (known schemes: "
+            f"{', '.join(KNOWN_EXECUTOR_SCHEMES)})")
+    if text == "inline":
+        return InlineExecutor()
+    if text == "local":
+        return LocalPoolExecutor(os.cpu_count() or 1)
+    if text.startswith("local:"):
+        try:
+            width = int(text[len("local:"):])
+        except ValueError:
+            raise BatchError(
+                f"invalid worker count in executor spec {text!r}")
+        return LocalPoolExecutor(width)
+    raise BatchError(
+        f"unknown executor spec {text!r} (expected inline, local[:N], "
+        f"or tcp://HOST:PORT)")
+
+
 @dataclass(frozen=True)
 class BatchReport:
     """Aggregate outcome of one :meth:`BatchCompiler.compile` run."""
@@ -182,10 +421,12 @@ class BatchReport:
 
     @property
     def n_jobs(self) -> int:
+        """Number of job slots in the report."""
         return len(self.results)
 
     @property
     def n_cache_hits(self) -> int:
+        """Jobs served from the result cache."""
         return sum(result.from_cache for result in self.results)
 
     @property
@@ -195,14 +436,17 @@ class BatchReport:
 
     @property
     def total_cost(self) -> int:
+        """Summed modelled cost per iteration over all jobs."""
         return sum(result.total_cost for result in self.results)
 
     @property
     def total_accesses(self) -> int:
+        """Summed pattern sizes over all jobs."""
         return sum(result.n_accesses for result in self.results)
 
     @property
     def mean_overhead_per_iteration(self) -> float:
+        """Mean generated overhead per iteration (0.0 when empty)."""
         if not self.results:
             return 0.0
         return sum(result.overhead_per_iteration
@@ -210,10 +454,12 @@ class BatchReport:
 
     @property
     def all_audits_ok(self) -> bool:
+        """Whether every simulated job agreed with the cost model."""
         return all(result.audit_ok for result in self.results)
 
     @property
     def jobs_per_second(self) -> float:
+        """Batch throughput (0.0 when no time elapsed)."""
         if self.elapsed_seconds <= 0.0:
             return 0.0
         return self.n_jobs / self.elapsed_seconds
@@ -276,13 +522,33 @@ class BatchCompiler:
     n_workers:
         Process-pool width for cache misses; ``1`` compiles inline on
         the calling process (deterministic ordering, no fork cost).
+        Shorthand for the matching local :class:`Executor`.
+    executor:
+        An explicit execution backend -- an :class:`Executor` instance
+        or an :func:`open_executor` spec string such as
+        ``"tcp://host:port"`` for a multi-host worker fleet.  Mutually
+        exclusive with a non-default ``n_workers`` (an executor carries
+        its own width).
     """
 
-    def __init__(self, *, cache=None, n_workers: int = 1):
+    def __init__(self, *, cache=None, n_workers: int = 1,
+                 executor: Executor | str | None = None):
         if n_workers < 1:
             raise BatchError(f"n_workers must be >= 1, got {n_workers}")
+        if executor is not None and n_workers != 1:
+            raise BatchError(
+                "pass either n_workers or executor, not both (an "
+                "executor carries its own parallelism width)")
         self.cache = cache if cache is not None else InMemoryLRUCache()
-        self.n_workers = n_workers
+        if executor is None:
+            executor = InlineExecutor() if n_workers == 1 \
+                else LocalPoolExecutor(n_workers)
+        self.executor = open_executor(executor)
+
+    @property
+    def n_workers(self) -> int:
+        """The executor's parallelism width (best effort, for reports)."""
+        return self.executor.n_workers
 
     def _scan(self, jobs: Sequence) -> list[tuple[str, Any]]:
         """Per-job ``(digest, cached result | None)``, the batch's
@@ -387,45 +653,36 @@ class BatchCompiler:
                 "them", exc_info=True)
 
     def _run(self, jobs: Sequence[BatchJob]) -> list[JobResult]:
-        if self.n_workers == 1 or len(jobs) <= 1:
-            results = []
-            try:
-                for job in jobs:
-                    results.append(execute_any(job))
-            except BaseException as error:
-                # Salvage the completed prefix for job failures and
-                # interrupts alike; only the former names a culprit.
-                self._persist(jobs, results)
-                if isinstance(error, Exception):
-                    failing = jobs[len(results)]
-                    raise _job_failure(failing, job_digest(failing),
-                                       error) from error
-                raise
-            return results
-        workers = min(self.n_workers, len(jobs))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = [pool.submit(execute_any, job) for job in jobs]
-            results = []
-            try:
-                for future in futures:
-                    results.append(future.result())
-            except BaseException as error:
-                # Stop paying for what never started, persist
-                # everything that did complete (including in-flight
-                # completions the shutdown drains), and -- for a job
-                # failure, as opposed to a KeyboardInterrupt -- name
-                # the culprit.
-                pool.shutdown(wait=True, cancel_futures=True)
-                self._persist(jobs, [
-                    f.result() if f.done() and not f.cancelled()
-                    and f.exception() is None else None
-                    for f in futures])
-                if isinstance(error, Exception):
-                    failing = jobs[len(results)]
-                    raise _job_failure(failing, job_digest(failing),
-                                       error) from error
-                raise
-            return results
+        """Execute ``jobs`` on the configured executor, results in
+        job order.
+
+        The failure contract, uniform across executors: a job failure
+        (or a died worker) first drains and persists everything that
+        completed, then raises a :class:`~repro.errors.BatchError`
+        naming the culprit; a ``KeyboardInterrupt`` gets the same
+        salvage but propagates as itself.
+        """
+        slots: list[JobResult | None] = [None] * len(jobs)
+        stream = self.executor.run(jobs)
+        try:
+            for position, result in stream:
+                slots[position] = result
+        except BaseException as error:
+            # Stop paying for what never started, persist everything
+            # that did complete (including in-flight completions the
+            # shutdown drains), and -- for a job failure, as opposed
+            # to a KeyboardInterrupt -- name the culprit.
+            for position, result in stream.shutdown().items():
+                slots[position] = result
+            self._persist(jobs, slots)
+            if isinstance(error, JobFailure):
+                failing = jobs[error.index]
+                raise _job_failure(failing, job_digest(failing),
+                                   error.cause) from error.cause
+            raise
+        stream.shutdown()  # release executor resources (no-op salvage)
+        assert all(slot is not None for slot in slots)
+        return slots  # type: ignore[return-value]
 
     def as_completed(self, jobs: Iterable) -> Iterator[tuple[int, Any]]:
         """Stream ``(index, result)`` pairs in completion order.
@@ -475,52 +732,38 @@ class BatchCompiler:
                 yield index, dataclasses.replace(
                     result, name=jobs[index].name, from_cache=True)
 
-        if self.n_workers == 1 or len(pending) == 1:
-            for digest in pending:
-                try:
-                    result = execute_any(pending_jobs[digest])
-                except Exception as error:
-                    raise _job_failure(pending_jobs[digest], digest,
-                                       error) from error
-                yield from fan_out(digest, result)
-            return
-        workers = min(self.n_workers, len(pending))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(execute_any, pending_jobs[digest]):
-                       digest for digest in pending}
+        digests = list(pending)
+        stream = self.executor.run([pending_jobs[digest]
+                                    for digest in digests])
+        try:
+            for position, result in stream:
+                yield from fan_out(digests[position], result)
+        except JobFailure as failure:
+            digest = digests[failure.index]
+            raise _job_failure(pending_jobs[digest], digest,
+                               failure.cause) from failure.cause
+        finally:
+            # Torn down mid-stream -- abandoned, interrupted, or a
+            # job failure above: drop what never started, let
+            # in-flight jobs finish, and persist everything that
+            # completed.  Compute is cached, never thrown away, so
+            # a re-run against the same cache resumes exactly where
+            # this one stopped.  (A clean finish passes through here
+            # too; its salvage is empty by construction.)
+            salvage = {
+                digests[position]: result.payload()
+                for position, result in stream.shutdown().items()
+                if digests[position] not in persisted}
             try:
-                for future in _futures_as_completed(futures):
-                    digest = futures[future]
-                    try:
-                        result = future.result()
-                    except Exception as error:
-                        raise _job_failure(pending_jobs[digest], digest,
-                                           error) from error
-                    yield from fan_out(digest, result)
-            finally:
-                # Torn down mid-stream -- abandoned, interrupted, or a
-                # job failure above: drop what never started, let
-                # in-flight jobs finish, and persist everything that
-                # completed.  Compute is cached, never thrown away, so
-                # a re-run against the same cache resumes exactly where
-                # this one stopped.
-                pool.shutdown(wait=True, cancel_futures=True)
-                salvage = {
-                    digest: future.result().payload()
-                    for future, digest in futures.items()
-                    if digest not in persisted
-                    and not future.cancelled() and future.done()
-                    and future.exception() is None}
-                try:
-                    self._store(salvage)
-                except Exception:
-                    # Teardown salvage is best-effort: a cache write
-                    # error must not displace whatever is already
-                    # propagating.
-                    _LOGGER.warning(
-                        "failed to persist %d completed result(s) "
-                        "during stream teardown", len(salvage),
-                        exc_info=True)
+                self._store(salvage)
+            except Exception:
+                # Teardown salvage is best-effort: a cache write
+                # error must not displace whatever is already
+                # propagating.
+                _LOGGER.warning(
+                    "failed to persist %d completed result(s) "
+                    "during stream teardown", len(salvage),
+                    exc_info=True)
 
     def run_iter(self, jobs: Iterable) -> Iterator[Any]:
         """Stream results in job order, each as soon as it is ready.

@@ -364,6 +364,8 @@ class ExperimentPointResult(CacheableResult):
     from_cache: bool = False
 
     def payload(self) -> dict:
+        """The cache payload, minus the display metadata (name, index).
+        """
         record = super().payload()
         del record["name"]
         del record["index"]
@@ -371,6 +373,8 @@ class ExperimentPointResult(CacheableResult):
 
     @classmethod
     def from_payload(cls, payload: dict, job):
+        """Rebuild from a payload; display metadata comes from ``job``.
+        """
         try:
             return cls(**{**payload, "name": job.name, "index": job.index,
                           "from_cache": True})

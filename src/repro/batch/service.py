@@ -75,6 +75,64 @@ def _close_socket(sock: socket.socket) -> None:
         pass
 
 
+def format_endpoint(host: str, port: int) -> str:
+    """``host``/``port`` as a ``tcp://`` spec, bracketing IPv6 hosts
+    so the result feeds straight back into ``open_cache`` /
+    ``open_executor``."""
+    if ":" in host:
+        return f"tcp://[{host}]:{port}"
+    return f"tcp://{host}:{port}"
+
+
+def parse_endpoint(text: str, options: dict | None = None,
+                   ) -> tuple[str, int, dict]:
+    """Split a ``tcp://HOST:PORT[?opts]`` spec into host, port, and
+    converted options.
+
+    The shared grammar of every TCP spec in the batch layer: cache
+    clients (``open_cache``), executor clients (``open_executor``),
+    and the ``worker`` / ``job-serve`` CLI arguments.  ``options``
+    maps allowed ``?key=value`` names to converters; unknown keys,
+    unparsable values, and any URL decoration beyond host/port/query
+    are rejected loudly.
+    """
+    from urllib.parse import parse_qsl, urlsplit
+
+    known = options or {}
+    expected = (f"expected tcp://HOST:PORT"
+                f"[?{'&'.join(sorted(known))}]" if known
+                else "expected tcp://HOST:PORT")
+    try:
+        parts = urlsplit(text)
+        port = parts.port
+    except ValueError as error:
+        raise BatchError(
+            f"invalid endpoint spec {text!r} ({error}); {expected}")
+    if parts.scheme != "tcp" or port is None or parts.path \
+            or parts.fragment or parts.username is not None:
+        raise BatchError(
+            f"invalid endpoint spec {text!r}; {expected}")
+    try:
+        pairs = parse_qsl(parts.query, keep_blank_values=True,
+                          strict_parsing=True) if parts.query else []
+    except ValueError:
+        raise BatchError(
+            f"invalid options in endpoint spec {text!r}; {expected}")
+    converted: dict = {}
+    for key, value in pairs:
+        convert = known.get(key)
+        if convert is None:
+            raise BatchError(
+                f"unknown option {key!r} in endpoint spec {text!r} "
+                f"(known: {', '.join(sorted(known)) or 'none'})")
+        try:
+            converted[key] = convert(value)
+        except ValueError:
+            raise BatchError(
+                f"invalid value for {key!r} in endpoint spec {text!r}")
+    return parts.hostname or "127.0.0.1", port, converted
+
+
 # ----------------------------------------------------------------------
 # Framing
 # ----------------------------------------------------------------------
@@ -256,10 +314,7 @@ class CacheServer:
     def endpoint(self) -> str:
         """The ``tcp://host:port`` spec clients should open (IPv6
         hosts come bracketed, ready for ``open_cache``)."""
-        host, port = self.address
-        if ":" in host:
-            return f"tcp://[{host}]:{port}"
-        return f"tcp://{host}:{port}"
+        return format_endpoint(*self.address)
 
     def handle_request(self, request: dict) -> dict:
         """Answer one protocol request (exposed for protocol tests)."""
@@ -423,9 +478,7 @@ class RemoteCache:
     def endpoint(self) -> str:
         """The ``tcp://...`` spec of this client's server, bracketed
         for IPv6 so it can be fed straight back into ``open_cache``."""
-        if ":" in self.host:
-            return f"tcp://[{self.host}]:{self.port}"
-        return f"tcp://{self.host}:{self.port}"
+        return format_endpoint(self.host, self.port)
 
     def __repr__(self) -> str:
         return f"RemoteCache({self.endpoint!r})"

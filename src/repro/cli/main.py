@@ -28,6 +28,15 @@ cache-serve
     Run a remote result-cache server in front of any cache store, so
     batch/stats/ablate runs on other processes or hosts can share one
     store via ``--cache tcp://HOST:PORT``.
+job-serve
+    Run the distributed execution service: a job server that queues
+    batch jobs and leases them to connected workers (with lease
+    timeouts and requeue on worker death), so batch/stats/ablate runs
+    can execute on many hosts via ``--executor tcp://HOST:PORT``.
+worker
+    Serve a running job server: lease jobs, execute them with the
+    standard engine contract, stream results back; any number of
+    workers on any number of hosts may serve one server.
 """
 
 from __future__ import annotations
@@ -75,6 +84,30 @@ def _spec_from_args(args: argparse.Namespace) -> AguSpec:
         return spec
     return AguSpec(args.registers if args.registers is not None else 4,
                    args.modify_range if args.modify_range is not None else 1)
+
+
+def _executor_from_args(args: argparse.Namespace):
+    """The ``executor=`` value for a batch-engine entry point.
+
+    ``--executor`` and a non-default ``-j/--workers`` are mutually
+    exclusive (an executor spec carries its own parallelism width);
+    reject the combination here with CLI-flavored wording instead of
+    letting the engine's generic error surface.
+    """
+    if args.executor is not None and args.workers != 1:
+        raise ReproError(
+            "--executor and -j/--workers are mutually exclusive: an "
+            "executor spec carries its own width (use --executor "
+            f"local:{args.workers} for a local pool)")
+    return args.executor
+
+
+def _add_executor_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--executor", default=None,
+                        help="execution backend: inline, local:N "
+                             "(process pool), or tcp://HOST:PORT (a "
+                             "running job-serve with workers); "
+                             "overrides -j/--workers")
 
 
 def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
@@ -230,7 +263,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                                n_iterations=args.iterations,
                                include_baseline=args.baseline)
     cache = open_cache(args.cache) if args.cache else None
-    compiler = BatchCompiler(cache=cache, n_workers=args.workers)
+    compiler = BatchCompiler(cache=cache, n_workers=args.workers,
+                             executor=_executor_from_args(args))
     report = compiler.compile(jobs)
     title = f"batch: {args.kernels or args.suite} on {spec}"
     print(report.render(title=title))
@@ -271,6 +305,78 @@ def _cmd_cache_serve(args: argparse.Namespace) -> int:
         signal.signal(signal.SIGTERM, previous)
         server.shutdown()
         print(f"cache server stopped; {store.stats}", flush=True)
+    return 0
+
+
+def _cmd_job_serve(args: argparse.Namespace) -> int:
+    """Run the distributed execution service's job server."""
+    import signal
+
+    from repro.batch.cluster import JobServer
+
+    try:
+        server = JobServer(args.host, args.port,
+                           lease_timeout=args.lease_timeout,
+                           max_attempts=args.max_attempts)
+    except OSError as error:
+        # Port in use, unresolvable host, privileged port, ...
+        raise ReproError(
+            f"cannot serve on tcp://{args.host}:{args.port}: {error}")
+    print(f"job server at {server.endpoint} (lease timeout "
+          f"{args.lease_timeout:.0f} s); start workers with: "
+          f"repro-agu worker {server.endpoint}; point runs at it with "
+          f"--executor {server.endpoint}; stop with SIGINT/SIGTERM",
+          flush=True)
+
+    def terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, terminate)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        server.shutdown()
+        print(f"job server stopped; {server.stats}", flush=True)
+    return 0
+
+
+def _cmd_worker(args: argparse.Namespace) -> int:
+    """Serve a job server: lease, execute, stream results back."""
+    import signal
+
+    from repro.batch.cluster import Worker, parse_endpoint
+
+    host, port, _options = parse_endpoint(args.server, options={})
+
+    def on_event(kind: str, detail: str) -> None:
+        if args.quiet:
+            return
+        if kind == "connected":
+            print(f"worker serving {detail}; leasing jobs "
+                  f"(stop with SIGINT/SIGTERM)", flush=True)
+        elif kind in ("executed", "failed"):
+            print(f"[{kind}] {detail}", flush=True)
+
+    worker = Worker(host, port, poll=args.poll, max_jobs=args.max_jobs,
+                    idle_exit=args.idle_exit,
+                    connect_retry=args.connect_retry, on_event=on_event)
+
+    def terminate(signum, frame):
+        worker.stop()
+
+    previous = signal.signal(signal.SIGTERM, terminate)
+    try:
+        worker.run()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        worker.close()
+        print(f"worker stopped; {worker.jobs_executed} job(s) executed",
+              flush=True)
     return 0
 
 
@@ -317,7 +423,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     summary = run_statistical_comparison(
         config, n_workers=args.workers,
         cache=open_cache(args.cache) if args.cache else None,
-        progress=None if args.no_progress else progress)
+        progress=None if args.no_progress else progress,
+        executor=_executor_from_args(args))
 
     print()
     print(render.statistical_table(summary).render())
@@ -329,7 +436,8 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     print(f"{len(summary.rows)} grid point(s): "
           f"{summary.n_points_compiled} compiled, "
           f"{summary.n_points_cached} cache hit(s); "
-          f"{summary.elapsed_seconds:.3f} s on {args.workers} worker(s)")
+          f"{summary.elapsed_seconds:.3f} s on "
+          f"{args.executor or f'{args.workers} worker(s)'}")
     if args.json:
         path = reports.save_report(summary, args.json)
         print(f"(report saved to {path})")
@@ -401,7 +509,8 @@ def _cmd_ablate(args: argparse.Namespace) -> int:
     summary = run_experiment(
         args.which, config, n_workers=args.workers,
         cache=open_cache(args.cache) if args.cache else None,
-        progress=None if args.no_progress else progress)
+        progress=None if args.no_progress else progress,
+        executor=_executor_from_args(args))
 
     print()
     if definition.render is not None:
@@ -413,7 +522,8 @@ def _cmd_ablate(args: argparse.Namespace) -> int:
     print(f"{n_points} point(s): "
           f"{summary.n_points_compiled} compiled, "
           f"{summary.n_points_cached} cache hit(s); "
-          f"{summary.elapsed_seconds:.3f} s on {args.workers} worker(s)")
+          f"{summary.elapsed_seconds:.3f} s on "
+          f"{args.executor or f'{args.workers} worker(s)'}")
     if args.json:
         path = reports.save_report(summary, args.json)
         print(f"(report saved to {path})")
@@ -482,6 +592,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 # Entry point
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
+    """Construct the ``repro-agu`` argument parser (every subcommand).
+    """
     parser = argparse.ArgumentParser(
         prog="repro-agu",
         description="Register-constrained address computation for DSP "
@@ -543,6 +655,7 @@ def build_parser() -> argparse.ArgumentParser:
     batch_parser.add_argument("-j", "--workers", type=int, default=1,
                               help="process-pool width (default 1: "
                                    "compile inline)")
+    _add_executor_argument(batch_parser)
     batch_parser.add_argument("--cache", default=None,
                               help="result cache spec: PATH.json, a "
                                    "directory, or tcp://HOST:PORT (a "
@@ -585,6 +698,7 @@ def build_parser() -> argparse.ArgumentParser:
     stats_parser.add_argument("-j", "--workers", type=int, default=1,
                               help="process-pool width (default 1: "
                                    "compute inline)")
+    _add_executor_argument(stats_parser)
     stats_parser.add_argument("--cache", default=None,
                               help="grid-point cache: PATH.json (single "
                                    "JSON store), a directory (sharded "
@@ -618,6 +732,7 @@ def build_parser() -> argparse.ArgumentParser:
     ablate_parser.add_argument("-j", "--workers", type=int, default=1,
                                help="process-pool width (default 1: "
                                     "compute inline)")
+    _add_executor_argument(ablate_parser)
     ablate_parser.add_argument("--cache", default=None,
                                help="point cache: PATH.json (single JSON "
                                     "store), a directory (sharded "
@@ -649,6 +764,56 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(clients keep working and skip "
                                    "their puts)")
     serve_parser.set_defaults(func=_cmd_cache_serve)
+
+    job_serve_parser = commands.add_parser(
+        "job-serve", help="serve a job queue to a fleet of workers for "
+                          "multi-host batch execution")
+    job_serve_parser.add_argument("--host", default="127.0.0.1",
+                                  help="bind address (default "
+                                       "127.0.0.1; use 0.0.0.0 to "
+                                       "serve other hosts)")
+    job_serve_parser.add_argument("--port", type=int, default=8742,
+                                  help="TCP port (default 8742; 0 "
+                                       "picks an ephemeral port, "
+                                       "printed on startup)")
+    job_serve_parser.add_argument("--lease-timeout", type=float,
+                                  default=60.0,
+                                  help="seconds a worker may hold a "
+                                       "job before it is requeued "
+                                       "(default 60; size above the "
+                                       "slowest expected job)")
+    job_serve_parser.add_argument("--max-attempts", type=int, default=3,
+                                  help="leases per job before the "
+                                       "server gives up on it "
+                                       "(default 3)")
+    job_serve_parser.set_defaults(func=_cmd_job_serve)
+
+    worker_parser = commands.add_parser(
+        "worker", help="execute jobs leased from a running job-serve")
+    worker_parser.add_argument("server",
+                               help="the job server, as tcp://HOST:PORT "
+                                    "(printed by job-serve on startup)")
+    worker_parser.add_argument("--poll", type=float, default=2.0,
+                               help="seconds one lease request waits "
+                                    "for work before re-polling "
+                                    "(default 2)")
+    worker_parser.add_argument("--max-jobs", type=int, default=None,
+                               help="exit after executing this many "
+                                    "jobs (default: run until "
+                                    "stopped)")
+    worker_parser.add_argument("--idle-exit", type=float, default=None,
+                               help="exit after this many consecutive "
+                                    "idle seconds (default: run until "
+                                    "stopped)")
+    worker_parser.add_argument("--connect-retry", type=float,
+                               default=10.0,
+                               help="seconds to keep retrying the "
+                                    "initial connection, so workers "
+                                    "may start before their server "
+                                    "(default 10)")
+    worker_parser.add_argument("--quiet", action="store_true",
+                               help="suppress per-job log lines")
+    worker_parser.set_defaults(func=_cmd_worker)
 
     verify_parser = commands.add_parser(
         "verify", help="compile a kernel and fail on any audit mismatch")

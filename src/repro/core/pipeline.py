@@ -32,6 +32,8 @@ class CompilationArtifacts:
 
     @property
     def overhead_per_iteration(self) -> int:
+        """Static addressing overhead of the generated program, per
+        iteration."""
         return self.program.overhead_per_iteration
 
 

@@ -56,6 +56,7 @@ class AllocationResult:
 
     @property
     def n_registers_used(self) -> int:
+        """Distinct address registers the allocation actually uses."""
         return self.cover.n_paths
 
     @property

@@ -83,14 +83,17 @@ class AccessGraph:
     # ------------------------------------------------------------------
     @property
     def pattern(self) -> AccessPattern:
+        """The access pattern the graph models."""
         return self._pattern
 
     @property
     def modify_range(self) -> int:
+        """The auto-modify range M the edges were built with."""
         return self._modify_range
 
     @property
     def n_nodes(self) -> int:
+        """Number of accesses (graph nodes)."""
         return len(self._pattern)
 
     def nodes(self) -> range:

@@ -24,6 +24,7 @@ class ArrayPlacement:
 
     @property
     def name(self) -> str:
+        """The placed array's name."""
         return self.decl.name
 
     @property

@@ -218,10 +218,12 @@ class Loop:
 
     @property
     def step(self) -> int:
+        """Loop-variable increment per iteration."""
         return self.pattern.step
 
     @property
     def var(self) -> str:
+        """The loop variable's name."""
         return self.pattern.loop_var
 
     def iteration_values(self, count: int | None = None) -> list[int]:
@@ -278,6 +280,7 @@ class Kernel:
 
     @property
     def pattern(self) -> AccessPattern:
+        """The kernel loop's access pattern."""
         return self.loop.pattern
 
     def array(self, name: str) -> ArrayDecl:

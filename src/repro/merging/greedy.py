@@ -42,6 +42,7 @@ class MergeResult:
 
     @property
     def n_registers(self) -> int:
+        """Address registers the merged cover needs (its path count)."""
         return self.cover.n_paths
 
 

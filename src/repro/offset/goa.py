@@ -33,6 +33,8 @@ class GoaResult:
 
     @property
     def n_registers(self) -> int:
+        """Address registers the assignment distributes the variables
+        over."""
         return len(self.groups)
 
 

@@ -144,6 +144,7 @@ class PathCover:
     # ------------------------------------------------------------------
     @property
     def n_paths(self) -> int:
+        """Number of paths (= address registers required)."""
         return len(self.paths)
 
     def __iter__(self) -> Iterator[Path]:

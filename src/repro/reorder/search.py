@@ -35,10 +35,12 @@ class ReorderResult:
 
     @property
     def improvement(self) -> int:
+        """Cost units saved vs the fixed original order."""
         return self.baseline_cost - self.cost
 
     @property
     def is_reordered(self) -> bool:
+        """Whether the chosen order differs from the original."""
         return self.order != tuple(range(len(self.order)))
 
 

@@ -37,6 +37,7 @@ class DspKernel:
 
     @property
     def n_accesses(self) -> int:
+        """Array accesses per loop iteration."""
         return len(self.kernel().pattern)
 
 

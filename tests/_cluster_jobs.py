@@ -1,0 +1,128 @@
+"""Shared helpers of the cluster test suites: picklable jobs and the
+in-process thread-fleet topology.
+
+The job classes live in their own importable module (not inside a test
+file) so that subprocess ``repro-agu worker`` processes -- whose
+``PYTHONPATH`` the tests extend with this directory -- can unpickle
+them by reference, exactly like a real deployment unpickles
+``repro.batch`` job classes.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.batch.cluster import JobServer, Worker
+from repro.batch.digest import job_digest
+from repro.batch.jobs import CacheableResult
+
+
+@contextmanager
+def thread_fleet(n_workers: int = 2, **server_kwargs):
+    """A :class:`JobServer` plus ``n_workers`` in-process worker
+    threads -- real TCP and framing, in-thread job execution."""
+    with JobServer(**server_kwargs) as server:
+        workers = [Worker(*server.address, poll=0.05)
+                   for _ in range(n_workers)]
+        threads = [threading.Thread(target=worker.run, daemon=True)
+                   for worker in workers]
+        for thread in threads:
+            thread.start()
+        try:
+            yield server
+        finally:
+            for worker in workers:
+                worker.stop()
+            for thread in threads:
+                thread.join(timeout=10.0)
+
+
+@dataclass(frozen=True)
+class TinyResult(CacheableResult):
+    """A minimal engine-compatible result (cacheable, picklable)."""
+
+    name: str
+    digest: str
+    value: int
+    from_cache: bool = False
+
+
+@dataclass(frozen=True)
+class TinyJob:
+    """A trivial job: returns ``value`` doubled, instantly."""
+
+    name: str
+    value: int = 1
+
+    result_type = TinyResult
+
+    def cache_key(self) -> dict:
+        # Like the real job types: the display name stays out of the
+        # digest, so same-content jobs share one cache entry.
+        return {"v": 0, "cluster-tiny": self.value}
+
+    def execute(self) -> TinyResult:
+        return TinyResult(name=self.name, digest=job_digest(self),
+                          value=2 * self.value)
+
+
+@dataclass(frozen=True)
+class SlowOnceJob:
+    """Sleeps on its *first* execution only (signalled via a marker
+    file), so a test can kill the worker mid-job and let the requeued
+    lease complete quickly elsewhere."""
+
+    name: str
+    marker: str
+    seconds: float = 60.0
+    value: int = 7
+
+    result_type = TinyResult
+
+    def cache_key(self) -> dict:
+        return {"v": 0, "cluster-slow-once": self.name,
+                "value": self.value}
+
+    def execute(self) -> TinyResult:
+        marker = Path(self.marker)
+        if not marker.exists():
+            marker.write_text("first lease")
+            time.sleep(self.seconds)  # the test kills this worker
+        return TinyResult(name=self.name, digest=job_digest(self),
+                          value=self.value)
+
+
+@dataclass(frozen=True)
+class HugeResultJob:
+    """Succeeds, but with a result too large for one protocol frame
+    (under a test-shrunk ``MAX_FRAME_BYTES``)."""
+
+    name: str
+    size: int = 100_000
+
+    result_type = TinyResult
+
+    def cache_key(self) -> dict:
+        return {"v": 0, "cluster-huge": self.size}
+
+    def execute(self) -> str:
+        return "x" * self.size
+
+
+@dataclass(frozen=True)
+class CrashingJob:
+    """A job whose execution raises on every worker that leases it."""
+
+    name: str
+
+    result_type = TinyResult
+
+    def cache_key(self) -> dict:
+        return {"v": 0, "cluster-crash": self.name}
+
+    def execute(self) -> TinyResult:
+        raise RuntimeError(f"injected crash in {self.name}")

@@ -1,0 +1,27 @@
+"""The docs-lint gate, as a test: public docstring coverage must stay
+at 100 % for the API surface (`repro`, `repro.batch.*`, `repro.cli.*`)
+and above the pinned whole-tree floor.
+
+The implementation lives in ``tools/check_docstrings.py`` (a
+dependency-free stand-in for ``interrogate``; the CI image ships no
+lint extras) -- this test runs it exactly the way CI's docs-lint step
+does, so a regression fails both gates identically.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+CHECKER = Path(__file__).resolve().parents[1] / "tools" / \
+    "check_docstrings.py"
+
+
+def test_public_docstring_coverage_gate():
+    completed = subprocess.run(
+        [sys.executable, str(CHECKER)],
+        capture_output=True, text=True, timeout=120)
+    assert completed.returncode == 0, (
+        "public docstring coverage regressed:\n" + completed.stdout)
+    assert "public docstring coverage" in completed.stdout
