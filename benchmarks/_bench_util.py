@@ -21,7 +21,10 @@ def publish(name: str, text: str, summary=None) -> None:
     print()
     print(text)
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
-    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    # Explicit encoding: the default is locale-dependent, and the
+    # tables contain non-ASCII (e.g. box-drawing / +- signs) that
+    # breaks under a C/POSIX locale in CI.
+    (RESULTS_DIR / f"{name}.txt").write_text(text, encoding="utf-8")
     if summary is not None:
         save_report(summary, RESULTS_DIR / f"{name}.json")
 

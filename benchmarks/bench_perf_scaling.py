@@ -9,6 +9,13 @@ per-point throughput of every registered ablation experiment
 (``-k ablate``), and the remote cache service's round-trip and
 batched-put throughput against its local in-process baseline
 (``-k remote``).
+
+The ``-k solver`` micro-suite times the single-point hot paths (access
+graph construction and memoized lookup, the exact branch-and-bound,
+greedy GOA, the SOA oracle, and job-payload digesting); it is what
+``tools/bench_trajectory.py`` records into the repo's ``BENCH_*.json``
+perf trajectory and what ``tools/check_bench_regression.py`` gates in
+CI -- see ``docs/BENCHMARKS.md``.
 """
 
 from contextlib import contextmanager
@@ -236,6 +243,103 @@ def bench_ablate_grid_parallel(benchmark, workers):
         benchmark,
         lambda: run_experiment("pathcover", config, n_workers=workers))
     assert summary.n_points_compiled > 0
+
+
+# ----------------------------------------------------------------------
+# Solver hot-path micro-suite (-k solver)
+# ----------------------------------------------------------------------
+# The per-point costs underneath every experiment grid.  These benches
+# feed the persisted perf trajectory (BENCH_*.json); they run against
+# optimized and pre-optimization checkouts alike, so the fallbacks
+# below let the same bench file record honest "before" numbers.
+try:
+    from repro.graph.access_graph import cached_access_graph
+except ImportError:  # pre-memoization baseline checkouts
+    cached_access_graph = AccessGraph
+
+#: One loop iteration's accesses, sized like a large EXP-S1 point.
+_SOLVER_GRAPH_PATTERN = generate_pattern(
+    RandomPatternConfig(96, offset_span=10), seed=11)
+
+#: A proven-optimal but search-heavy exact-cover instance (~44k nodes).
+_SOLVER_COVER_PATTERN = generate_pattern(
+    RandomPatternConfig(22, offset_span=6), seed=3)
+
+
+def bench_solver_access_graph(benchmark):
+    """Raw access-graph construction (the O(edges) hot loop)."""
+    graph = benchmark(AccessGraph, _SOLVER_GRAPH_PATTERN, 4)
+    assert graph.n_nodes == 96
+
+
+def bench_solver_access_graph_memoized(benchmark):
+    """Warm per-(pattern, M) graph lookup, as the EXP grids see it."""
+    cached_access_graph(_SOLVER_GRAPH_PATTERN, 4)  # prime the memo
+
+    graph = benchmark(cached_access_graph, _SOLVER_GRAPH_PATTERN, 4)
+    assert graph.n_nodes == 96
+
+
+def bench_solver_exact_cover(benchmark):
+    """The phase-1 branch-and-bound on a search-heavy instance."""
+    result = benchmark(minimum_zero_cost_cover, _SOLVER_COVER_PATTERN, 1)
+    assert result.k_tilde == 8 and result.optimal
+
+
+def bench_solver_exact_cover_tight_bounds(benchmark):
+    """The same instance under the opt-in tiling-style bound."""
+    def run():
+        try:
+            return minimum_zero_cost_cover(_SOLVER_COVER_PATTERN, 1,
+                                           tight_bounds=True)
+        except TypeError:  # pre-tight-bounds baseline checkouts
+            return minimum_zero_cost_cover(_SOLVER_COVER_PATTERN, 1)
+
+    result = benchmark(run)
+    assert result.k_tilde == 8 and result.optimal
+
+
+def bench_solver_goa_greedy(benchmark):
+    """Greedy GOA local search (the EXP-O1 per-sequence hot path)."""
+    from repro.offset.goa import goa_greedy
+
+    sequence = random_sequence(12, 160, seed=21, locality=0.5)
+    result = benchmark(goa_greedy, sequence, 4)
+    assert result.n_registers <= 4
+
+
+def bench_solver_optimal_assignment(benchmark):
+    """The exhaustive SOA oracle (mirror-pruned factorial search)."""
+    from repro.offset.soa import assignment_cost, optimal_assignment
+
+    sequence = random_sequence(8, 40, seed=22, locality=0.5)
+    layout = benchmark(optimal_assignment, sequence, 1, 8)
+    assert assignment_cost(layout, sequence) \
+        == assignment_cost(optimal_assignment(sequence, 1, 8), sequence)
+
+
+#: A nested job-payload shape (dataclass-free slice of a point job).
+_SOLVER_DIGEST_PAYLOAD = {
+    "v": 1, "experiment": "exp-point/pathcover",
+    "params": {"n": 26, "m": 1, "patterns": 8, "offset_span": 6,
+               "distribution": "uniform", "seed": 424242,
+               "node_budget": 50_000,
+               "tags": frozenset({"a", "b", "c", "d"}),
+               "nested": [{"k": k, "vals": list(range(10))}
+                          for k in range(20)]},
+}
+
+
+def bench_solver_digest(benchmark):
+    """Content-addressing throughput: 100 canonical-JSON digests."""
+    from repro.batch.digest import digest_payload
+
+    def digest_100():
+        return [digest_payload(_SOLVER_DIGEST_PAYLOAD)
+                for _ in range(100)]
+
+    digests = benchmark(digest_100)
+    assert len(set(digests)) == 1
 
 
 # ----------------------------------------------------------------------

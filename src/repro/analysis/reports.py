@@ -39,7 +39,7 @@ def save_report(payload: Any, path: str | Path) -> Path:
     """Write a JSON report; parent directories are created."""
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    with open(target, "w") as handle:
+    with open(target, "w", encoding="utf-8") as handle:
         json.dump(to_jsonable(payload), handle, indent=2, sort_keys=True)
         handle.write("\n")
     return target
@@ -50,5 +50,5 @@ def load_report(path: str | Path) -> Any:
     target = Path(path)
     if not target.exists():
         raise ExperimentError(f"no report at {target}")
-    with open(target) as handle:
+    with open(target, encoding="utf-8") as handle:
         return json.load(handle)

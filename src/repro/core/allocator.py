@@ -17,7 +17,7 @@ from repro.agu.model import AguSpec
 from repro.core.config import AllocatorConfig
 from repro.core.result import AllocationResult
 from repro.errors import InfeasibleZeroCostCover, SearchBudgetExceeded
-from repro.graph.access_graph import AccessGraph
+from repro.graph.access_graph import cached_access_graph
 from repro.ir.types import AccessPattern, Kernel, Loop
 from repro.merging.cost import CostModel, cover_cost
 from repro.merging.greedy import best_pair_merge
@@ -84,7 +84,7 @@ class AddressRegisterAllocator:
         else:
             try:
                 cover = greedy_zero_cost_cover(
-                    AccessGraph(pattern, modify_range))
+                    cached_access_graph(pattern, modify_range))
                 return cover, cover.n_paths, True, False
             except InfeasibleZeroCostCover:
                 pass
@@ -92,7 +92,8 @@ class AddressRegisterAllocator:
         # No zero-cost cover exists (or could be found): start from the
         # exact minimum intra-iteration cover, whose wrap-around costs
         # the final cost model will charge.
-        fallback = min_intra_path_cover(AccessGraph(pattern, modify_range))
+        fallback = min_intra_path_cover(
+            cached_access_graph(pattern, modify_range))
         return fallback, None, False, False
 
     # ------------------------------------------------------------------

@@ -18,11 +18,12 @@ edge -- see :mod:`repro.pathcover`.
 
 from __future__ import annotations
 
+from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterator
 
 from repro.errors import GraphError
-from repro.graph.distance import intra_distance, is_zero_cost, wrap_distance
 from repro.ir.types import AccessPattern
 
 
@@ -54,24 +55,61 @@ class AccessGraph:
         self._modify_range = modify_range
         n = len(pattern)
 
-        intra: set[tuple[int, int]] = set()
+        # Distances are compile-time constants only inside a group of
+        # accesses to the same array with the same index coefficient
+        # (intra distances additionally require the same loop variable
+        # when the coefficient is non-zero).  Edges therefore only ever
+        # connect group members whose offsets fall within a +-M window,
+        # which a per-group offset sort + bisect enumerates in
+        # O(E + n log n) instead of the naive O(n^2) distance tests.
+        intra_groups: dict[tuple, list[int]] = {}
+        inter_groups: dict[tuple[str, int], list[int]] = {}
+        offsets = [0] * n
+        for position, access in enumerate(pattern):
+            offsets[position] = access.offset
+            coefficient = access.coefficient
+            variable = access.index.var if coefficient != 0 else None
+            intra_groups.setdefault(
+                (access.array, coefficient, variable), []).append(position)
+            inter_groups.setdefault(
+                (access.array, coefficient), []).append(position)
+
         successors: list[list[int]] = [[] for _ in range(n)]
         predecessors: list[list[int]] = [[] for _ in range(n)]
-        for p in range(n):
-            for q in range(p + 1, n):
-                distance = intra_distance(pattern[p], pattern[q])
-                if is_zero_cost(distance, modify_range):
-                    intra.add((p, q))
-                    successors[p].append(q)
-                    predecessors[q].append(p)
+        for positions in intra_groups.values():
+            by_offset = sorted((offsets[p], p) for p in positions)
+            sorted_offsets = [offset for offset, _ in by_offset]
+            for offset, p in by_offset:
+                low = bisect_left(sorted_offsets, offset - modify_range)
+                high = bisect_right(sorted_offsets, offset + modify_range)
+                for index in range(low, high):
+                    q = by_offset[index][1]
+                    if q > p:
+                        successors[p].append(q)
+                        predecessors[q].append(p)
 
         inter: set[tuple[int, int]] = set()
-        for q in range(n):
-            for p in range(n):
-                distance = wrap_distance(pattern[q], pattern[p],
-                                         pattern.step)
-                if is_zero_cost(distance, modify_range):
-                    inter.add((q, p))
+        step = pattern.step
+        for (_array, coefficient), positions in inter_groups.items():
+            by_offset = sorted((offsets[p], p) for p in positions)
+            sorted_offsets = [offset for offset, _ in by_offset]
+            # wrap distance q -> p is c*S + offset_p - offset_q; it is
+            # free iff offset_p lands in [offset_q - c*S -+ M].
+            home = coefficient * step
+            for offset, q in by_offset:
+                low = bisect_left(sorted_offsets,
+                                  offset - home - modify_range)
+                high = bisect_right(sorted_offsets,
+                                    offset - home + modify_range)
+                for index in range(low, high):
+                    inter.add((q, by_offset[index][1]))
+
+        intra: list[tuple[int, int]] = []
+        for p in range(n):
+            successors[p].sort()
+            predecessors[p].sort()
+            for q in successors[p]:
+                intra.append((p, q))
 
         self._intra_edges = frozenset(intra)
         self._inter_edges = frozenset(inter)
@@ -166,3 +204,21 @@ class AccessGraph:
         return (f"AccessGraph(n={stats.n_nodes}, "
                 f"intra={stats.n_intra_edges}, inter={stats.n_inter_edges}, "
                 f"M={self._modify_range})")
+
+
+@lru_cache(maxsize=512)
+def cached_access_graph(pattern: AccessPattern,
+                        modify_range: int) -> AccessGraph:
+    """A process-wide memoized :class:`AccessGraph` constructor.
+
+    Experiment grids evaluate the same ``(pattern, M)`` pair several
+    times per point (lower bound, greedy cover, branch-and-bound, cost
+    audits), and :class:`AccessGraph` is immutable once built -- so the
+    hot paths share one instance per key instead of re-running edge
+    construction.  Patterns are frozen dataclasses, hence hashable;
+    pool workers each hold their own cache.
+
+    Use plain :class:`AccessGraph` when measuring construction itself
+    or when mutating experiment internals (never the graph) matters.
+    """
+    return AccessGraph(pattern, modify_range)

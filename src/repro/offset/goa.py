@@ -155,6 +155,14 @@ def goa_greedy(sequence: AccessSequence, n_registers: int,
 
     Layouts are re-optimized with the SOA tie-break heuristic after
     every move, so the search scores true (heuristic) SOA costs.
+
+    A candidate move only changes its source and target groups, and a
+    group's SOA cost depends only on the *set* of variables in it (the
+    projected subsequence and the tie-break layout are both
+    order-free), so moves are scored incrementally from memoized
+    per-group costs instead of re-running ``soa_layouts`` +
+    ``goa_cost`` over the whole partition -- same costs, same move
+    selection, same result, one SOA solve per *distinct* group.
     """
     if n_registers < 1:
         raise OffsetAssignmentError(
@@ -163,39 +171,56 @@ def goa_greedy(sequence: AccessSequence, n_registers: int,
     if not variables:
         return GoaResult((), 0)
 
+    group_costs: dict[frozenset[str], int] = {}
+
+    def group_cost(group: list[str]) -> int:
+        """Memoized SOA cost of one group's projected subsequence."""
+        key = frozenset(group)
+        cost = group_costs.get(key)
+        if cost is None:
+            projected = sequence.project(key)
+            cost = assignment_cost(tiebreak_soa(projected), projected,
+                                   auto_range)
+            group_costs[key] = cost
+        return cost
+
     partition: list[list[str]] = [list(variables)]
-
-    def score(candidate: list[list[str]]) -> tuple[int, tuple[Assignment, ...]]:
-        layouts = soa_layouts(candidate, sequence)
-        return goa_cost(layouts, sequence, auto_range), layouts
-
-    best_cost, best_layouts = score(partition)
+    best_cost = group_cost(partition[0])
     for _round in range(max_rounds):
-        improved = False
-        move_best: tuple[int, list[list[str]]] | None = None
+        # The best move, as (cost, source_index, name, target_index);
+        # strict < keeps the first minimum, exactly like rescoring
+        # every candidate partition from scratch did.
+        move_best: tuple[int, int, str, int] | None = None
         for source_index, group in enumerate(partition):
+            source_cost = group_cost(group)
             for name in group:
+                reduced_cost = group_cost(
+                    [other for other in group if other != name])
+                base = best_cost - source_cost + reduced_cost
                 targets = list(range(len(partition)))
                 if len(partition) < n_registers:
                     targets.append(len(partition))  # a brand-new group
                 for target_index in targets:
                     if target_index == source_index:
                         continue
-                    candidate = [list(g) for g in partition]
-                    candidate[source_index].remove(name)
-                    if target_index == len(candidate):
-                        candidate.append([name])
+                    if target_index == len(partition):
+                        grown_cost = group_cost([name])
+                        target_cost = 0
                     else:
-                        candidate[target_index].append(name)
-                    candidate = [g for g in candidate if g]
-                    cost, _layouts = score(candidate)
+                        target = partition[target_index]
+                        grown_cost = group_cost(target + [name])
+                        target_cost = group_cost(target)
+                    cost = base - target_cost + grown_cost
                     if move_best is None or cost < move_best[0]:
-                        move_best = (cost, candidate)
-        if move_best is not None and move_best[0] < best_cost:
-            best_cost = move_best[0]
-            partition = move_best[1]
-            best_layouts = soa_layouts(partition, sequence)
-            improved = True
-        if not improved:
+                        move_best = (cost, source_index, name,
+                                     target_index)
+        if move_best is None or move_best[0] >= best_cost:
             break
-    return GoaResult(best_layouts, best_cost)
+        best_cost, source_index, name, target_index = move_best
+        if target_index == len(partition):
+            partition.append([name])
+        else:
+            partition[target_index].append(name)
+        partition[source_index].remove(name)
+        partition = [group for group in partition if group]
+    return GoaResult(soa_layouts(partition, sequence), best_cost)

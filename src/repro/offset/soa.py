@@ -78,12 +78,13 @@ def optimal_assignment(sequence: AccessSequence,
         return ()
     best: Assignment = variables
     best_cost = assignment_cost(best, sequence, auto_range)
-    # The layout's mirror image has equal cost: pin the first variable's
-    # side to halve the search.
-    first = variables[0]
+    # The layout's mirror image has equal cost: keep only the
+    # lexicographically smaller endpoint ordering of each mirror pair,
+    # which skips exactly one member of every pair and halves the
+    # search.  (Endpoints are distinct variable names, so ties are
+    # impossible for n >= 2.)
     for permutation in itertools.permutations(variables):
-        if permutation[0] > permutation[-1] and first in (
-                permutation[0], permutation[-1]):
+        if permutation[0] > permutation[-1]:
             continue
         cost = assignment_cost(permutation, sequence, auto_range)
         if cost < best_cost:

@@ -23,7 +23,18 @@ Pruning:
   element is a dead end;
 * **bootstrap** -- the matching lower bound and the greedy upper bound
   (sections on refs [2] and the heuristic) initialise the incumbent;
-  search stops as soon as the incumbent meets the lower bound.
+  search stops as soon as the incumbent meets the lower bound;
+* **forced-open suffix bound** (opt-in, ``tight_bounds=True``) -- every
+  unassigned access with no intra-iteration predecessor must open a
+  path of its own, so ``open + forced(position) >= best`` subtrees are
+  dead.  This is the tiling-style register-pressure bound ("A Tiling
+  Perspective for Register Optimization" frames pressure search as
+  tiling with exactly this kind of occupancy floor): it only removes
+  subtrees that cannot improve the incumbent, hence the cover, its
+  size, and the ``optimal`` flag are unchanged -- but the node count
+  (and with it budget-exhaustion behaviour on huge instances) differs,
+  which is why the legacy node-for-node search order stays the default
+  (experiment goldens pin ``nodes_explored``).
 
 Accesses to different arrays (or with different index coefficients)
 share no zero-cost edges, so the instance decomposes into independent
@@ -34,10 +45,10 @@ both an optimization and how ``K~`` naturally splits per array.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from operator import itemgetter
 
 from repro.errors import InfeasibleZeroCostCover, SearchBudgetExceeded
-from repro.graph.access_graph import AccessGraph
-from repro.graph.distance import intra_distance
+from repro.graph.access_graph import cached_access_graph
 from repro.ir.types import AccessPattern
 from repro.pathcover.heuristic import greedy_zero_cost_cover
 from repro.pathcover.lower_bound import intra_cover_lower_bound
@@ -77,8 +88,15 @@ def minimum_zero_cost_cover(
         pattern: AccessPattern,
         modify_range: int,
         node_budget: int = DEFAULT_NODE_BUDGET,
+        tight_bounds: bool = False,
 ) -> CoverSearchResult:
     """Compute ``K~`` and a witnessing zero-cost cover for a pattern.
+
+    ``tight_bounds=True`` enables the forced-open suffix bound (see
+    the module docstring): identical cover and ``k_tilde``, strictly
+    fewer-or-equal nodes explored.  It stays opt-in because the
+    explored node count itself is part of the EXP-A1 experiment's
+    published (and golden-pinned) measurements.
 
     Raises
     ------
@@ -109,7 +127,8 @@ def minimum_zero_cost_cover(
         sub_pattern = AccessPattern(pattern.subsequence(positions),
                                     step=pattern.step,
                                     loop_var=pattern.loop_var)
-        outcome = _search_group(sub_pattern, modify_range, node_budget)
+        outcome = _search_group(sub_pattern, modify_range, node_budget,
+                                tight_bounds)
         lower_bound += outcome.lower_bound
         upper_bound += outcome.upper_bound
         nodes_total += outcome.nodes_explored
@@ -126,26 +145,34 @@ def minimum_zero_cost_cover(
 # ----------------------------------------------------------------------
 # Per-group exact search
 # ----------------------------------------------------------------------
-class _OpenPath:
-    """Mutable path under construction (first fixed, tail grows)."""
+#: Deadline sentinel for paths whose wrap-around is already free: no
+#: ``position`` can ever exceed it, so the feasibility scan skips them.
+_NO_DEADLINE = 1 << 60
 
-    __slots__ = ("indices",)
+
+class _OpenPath:
+    """Mutable path under construction (first fixed, tail grows).
+
+    ``deadline`` caches the wrap-feasibility horizon: the last position
+    by which this path must either already wrap for free
+    (``_NO_DEADLINE``) or still be able to pick up a free-wrapping tail
+    (``max_wrap_source[first]``).  It is refreshed on every tail change,
+    so the per-node feasibility scan is one integer compare per path
+    instead of two edge-set probes.
+    """
+
+    __slots__ = ("indices", "first", "last", "deadline")
 
     def __init__(self, start: int):
         self.indices = [start]
-
-    @property
-    def first(self) -> int:
-        return self.indices[0]
-
-    @property
-    def last(self) -> int:
-        return self.indices[-1]
+        self.first = start
+        self.last = start
 
 
 def _search_group(pattern: AccessPattern, modify_range: int,
-                  node_budget: int) -> CoverSearchResult:
-    graph = AccessGraph(pattern, modify_range)
+                  node_budget: int,
+                  tight_bounds: bool = False) -> CoverSearchResult:
+    graph = cached_access_graph(pattern, modify_range)
     n = graph.n_nodes
     lower_bound = intra_cover_lower_bound(graph)
 
@@ -167,18 +194,41 @@ def _search_group(pattern: AccessPattern, modify_range: int,
         if source > max_wrap_source[target]:
             max_wrap_source[target] = source
 
+    # Bitmask adjacency: bit q of succ_bits[p] is the intra edge p -> q,
+    # bit p of inter_bits[q] the wrap edge q -> p.  Single shift-and-test
+    # probes replace tuple-in-frozenset lookups in the search core.
+    succ_bits = [0] * n
+    for p, q in graph.intra_edges:
+        succ_bits[p] |= 1 << q
+    inter_bits = [0] * n
+    for q, p in graph.inter_edges:
+        inter_bits[q] |= 1 << p
+
+    # Offsets are valid distance material between intra-adjacent nodes
+    # (an intra edge implies same array / coefficient / loop variable).
+    offsets = [access.offset for access in pattern]
+
+    # forced[p]: accesses at positions >= p that no intra edge can ever
+    # reach -- each must open a path of its own (the tiling-style
+    # occupancy floor used by the opt-in tight bound).
+    forced = [0] * (n + 1)
+    if tight_bounds:
+        predecessors = graph._predecessors
+        for p in range(n - 1, -1, -1):
+            forced[p] = forced[p + 1] + (not predecessors[p])
+
     best_size = incumbent.n_paths if incumbent is not None else n + 1
     best_paths: list[tuple[int, ...]] | None = (
         [tuple(path) for path in incumbent] if incumbent is not None else None)
     open_paths: list[_OpenPath] = []
     nodes = 0
     budget_hit = False
+    sort_key = itemgetter(0)
 
-    def wrap_still_possible(path: _OpenPath, next_position: int) -> bool:
-        """Could this path still end with a free wrap-around?"""
-        if graph.has_inter_edge(path.last, path.first):
-            return True
-        return max_wrap_source[path.first] >= next_position
+    def deadline_of(path: _OpenPath) -> int:
+        if inter_bits[path.last] >> path.first & 1:
+            return _NO_DEADLINE
+        return max_wrap_source[path.first]
 
     def descend(position: int) -> None:
         nonlocal nodes, best_size, best_paths, budget_hit
@@ -189,42 +239,51 @@ def _search_group(pattern: AccessPattern, modify_range: int,
             budget_hit = True
             return
 
+        n_open = len(open_paths)
         if position == n:
-            if all(graph.has_inter_edge(path.last, path.first)
-                   for path in open_paths):
-                if len(open_paths) < best_size:
-                    best_size = len(open_paths)
-                    best_paths = [tuple(path.indices)
-                                  for path in open_paths]
+            # Every deadline is _NO_DEADLINE exactly when every path
+            # already wraps for free.
+            if n_open < best_size and all(
+                    path.deadline == _NO_DEADLINE for path in open_paths):
+                best_size = n_open
+                best_paths = [tuple(path.indices) for path in open_paths]
             return
 
-        if len(open_paths) >= best_size:
+        if n_open >= best_size:
+            return
+        if tight_bounds and n_open + forced[position] >= best_size:
             return
         for path in open_paths:
-            if not wrap_still_possible(path, position):
+            if path.deadline < position:
                 return
 
         # Extension branches, most promising first.
         candidates: list[tuple[tuple[int, int, int], _OpenPath]] = []
+        position_offset = offsets[position]
         for path in open_paths:
-            if not graph.has_intra_edge(path.last, position):
+            last = path.last
+            if not succ_bits[last] >> position & 1:
                 continue
-            distance = intra_distance(pattern[path.last], pattern[position])
-            assert distance is not None
-            closes = graph.has_inter_edge(position, path.first)
+            closes = inter_bits[position] >> path.first & 1
             candidates.append(
-                ((0 if closes else 1, abs(distance), -path.last), path))
-        candidates.sort(key=lambda item: item[0])
+                ((0 if closes else 1, abs(position_offset - offsets[last]),
+                  -last), path))
+        candidates.sort(key=sort_key)
         for _key, path in candidates:
+            saved_last, saved_deadline = path.last, path.deadline
             path.indices.append(position)
+            path.last = position
+            path.deadline = deadline_of(path)
             descend(position + 1)
             path.indices.pop()
+            path.last, path.deadline = saved_last, saved_deadline
             if budget_hit or best_size == lower_bound:
                 return
 
         # Canonical new-path branch.
         if len(open_paths) + 1 < best_size:
             fresh = _OpenPath(position)
+            fresh.deadline = deadline_of(fresh)
             open_paths.append(fresh)
             descend(position + 1)
             open_paths.pop()

@@ -93,6 +93,37 @@ class TestDigest:
         assert digest_payload({"s": frozenset({1, 2})}) \
             != digest_payload({"s": frozenset({1, 3})})
 
+    def test_mixed_type_set_contents_digest(self):
+        """Structural set ordering handles unlike member types (which
+        json.dumps-free sorting must never compare directly)."""
+        from repro.batch.digest import digest_payload
+        first = digest_payload({"s": frozenset({None, 2.5, "a", 3})})
+        second = digest_payload({"s": frozenset({"a", 3, None, 2.5})})
+        assert first == second
+
+    def test_mixed_type_dict_keys_digest(self):
+        """Dicts with str and scalar keys digest deterministically
+        (DIGEST_VERSION 1 raised TypeError on the sort)."""
+        from repro.batch.digest import digest_payload
+        first = digest_payload({1: "a", "b": 2, None: 3, 2.5: "c"})
+        second = digest_payload({2.5: "c", None: 3, "b": 2, 1: "a"})
+        assert first == second
+
+    def test_key_types_are_disambiguated(self):
+        """``{1: x}`` and ``{"1": x}`` are different payloads and must
+        have different digests (DIGEST_VERSION 1 collided them)."""
+        from repro.batch.digest import digest_payload
+        assert digest_payload({1: "x"}) != digest_payload({"1": "x"})
+        assert digest_payload({True: "x"}) != digest_payload({"True": "x"})
+        assert digest_payload({None: "x"}) != digest_payload({"None": "x"})
+
+    def test_non_scalar_dict_keys_are_rejected(self):
+        """Tuple (or other structured) keys fail loudly instead of
+        being stringified into a collision-prone encoding."""
+        from repro.batch.digest import digest_payload
+        with pytest.raises(TypeError, match="digest payload keys"):
+            digest_payload({(1, 2): "x"})
+
     def test_digest_is_stable_across_process_restarts(self):
         """The exact key survives a fresh interpreter (disk caches
         would silently never hit otherwise)."""

@@ -1,0 +1,245 @@
+"""Unit tests for the perf-trajectory layer (tools/).
+
+``tools/bench_trajectory.py`` records labelled benchmark runs into
+``BENCH_<n>.json``; ``tools/check_bench_regression.py`` gates fresh
+runs against the committed trajectory and proves speedups between two
+labelled runs.  These tests cover the pure parts -- schema round-trip,
+run upsert/lookup, gate pass/fail/tolerance edges, the speedup
+geomean -- without ever spawning a real pytest-benchmark subprocess.
+"""
+
+import importlib.util
+import random
+import sys
+from pathlib import Path
+
+import pytest
+
+TOOLS = Path(__file__).resolve().parent.parent / "tools"
+
+
+def _load(name: str):
+    spec = importlib.util.spec_from_file_location(name,
+                                                  TOOLS / f"{name}.py")
+    module = importlib.util.module_from_spec(spec)
+    # bench_trajectory must be importable by check_bench_regression.
+    sys.modules[name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+trajectory = _load("bench_trajectory")
+gate = _load("check_bench_regression")
+
+
+def make_entries(**seconds: float) -> dict:
+    return {name: {"seconds": value, "mean_seconds": value * 1.1,
+                   "rounds": 5}
+            for name, value in seconds.items()}
+
+
+class TestTrajectorySchema:
+    def test_round_trip(self, tmp_path):
+        record = trajectory.empty_trajectory()
+        run = trajectory.build_run(
+            "before", make_entries(bench_a=0.5, bench_b=0.01),
+            selection="solver", note="seed state")
+        trajectory.upsert_run(record, run)
+        path = tmp_path / "BENCH_T.json"
+        trajectory.save_trajectory(path, record)
+
+        loaded = trajectory.load_trajectory(path)
+        assert loaded["schema"] == trajectory.TRAJECTORY_SCHEMA
+        got = trajectory.get_run(loaded, "before")
+        assert got["entries"] == run["entries"]
+        assert got["note"] == "seed state"
+        assert got["selection"] == "solver"
+        assert "machine" in got and "git_rev" in got
+
+    def test_save_is_deterministic(self, tmp_path):
+        record = trajectory.empty_trajectory()
+        run = trajectory.build_run("x", make_entries(b=1.0, a=2.0),
+                                   selection="all")
+        trajectory.upsert_run(record, run)
+        first = tmp_path / "a.json"
+        second = tmp_path / "b.json"
+        trajectory.save_trajectory(first, record)
+        trajectory.save_trajectory(second, record)
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_unsupported_schema_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_T.json"
+        path.write_text('{"schema": 999, "runs": []}', encoding="utf-8")
+        with pytest.raises(ValueError, match="schema"):
+            trajectory.load_trajectory(path)
+
+    def test_malformed_runs_rejected(self, tmp_path):
+        path = tmp_path / "BENCH_T.json"
+        path.write_text(
+            f'{{"schema": {trajectory.TRAJECTORY_SCHEMA}, '
+            f'"runs": "oops"}}', encoding="utf-8")
+        with pytest.raises(ValueError, match="runs"):
+            trajectory.load_trajectory(path)
+
+    def test_upsert_replaces_same_label(self):
+        record = trajectory.empty_trajectory()
+        trajectory.upsert_run(record, trajectory.build_run(
+            "ci", make_entries(a=1.0), selection="s"))
+        trajectory.upsert_run(record, trajectory.build_run(
+            "ci", make_entries(a=2.0), selection="s"))
+        assert len(record["runs"]) == 1
+        assert trajectory.get_run(record, "ci")["entries"]["a"][
+            "seconds"] == 2.0
+
+    def test_get_run_default_is_last(self):
+        record = trajectory.empty_trajectory()
+        trajectory.upsert_run(record, trajectory.build_run(
+            "before", make_entries(a=1.0), selection="s"))
+        trajectory.upsert_run(record, trajectory.build_run(
+            "after", make_entries(a=0.5), selection="s"))
+        assert trajectory.get_run(record)["label"] == "after"
+        with pytest.raises(ValueError, match="no run labelled"):
+            trajectory.get_run(record, "nope")
+
+    def test_get_run_on_empty_trajectory(self):
+        with pytest.raises(ValueError, match="no runs"):
+            trajectory.get_run(trajectory.empty_trajectory())
+
+    def test_entries_from_pytest_benchmark(self):
+        data = {"benchmarks": [
+            {"name": "bench_z", "stats": {"min": 0.2, "mean": 0.3,
+                                          "rounds": 7}},
+            {"name": "bench_a", "stats": {"min": 0.1, "mean": 0.15,
+                                          "rounds": 9}},
+        ]}
+        entries = trajectory.entries_from_pytest_benchmark(data)
+        assert list(entries) == ["bench_a", "bench_z"]  # sorted
+        assert entries["bench_z"] == {"seconds": 0.2,
+                                      "mean_seconds": 0.3, "rounds": 7}
+
+
+class TestRegressionGate:
+    def test_pass_when_within_tolerance(self):
+        base = make_entries(a=0.100, b=0.010)
+        cur = make_entries(a=0.250, b=0.005)
+        lines, failures = gate.compare_entries(base, cur, tolerance=3.0)
+        assert failures == []
+        assert len(lines) == 2
+
+    def test_fail_past_tolerance(self):
+        base = make_entries(a=0.100)
+        cur = make_entries(a=0.301)
+        _lines, failures = gate.compare_entries(base, cur, tolerance=3.0)
+        assert len(failures) == 1
+        assert "a" in failures[0]
+
+    def test_exact_tolerance_boundary_passes(self):
+        """The gate fails strictly past the tolerance, not at it."""
+        base = make_entries(a=0.100)
+        cur = make_entries(a=0.300)
+        _lines, failures = gate.compare_entries(base, cur, tolerance=3.0)
+        assert failures == []
+
+    def test_new_bench_never_fails(self):
+        base = make_entries(a=0.1)
+        cur = make_entries(a=0.1, brand_new=5.0)
+        _lines, failures = gate.compare_entries(base, cur, tolerance=3.0)
+        assert failures == []
+
+    def test_missing_bench_fails_only_under_require_all(self):
+        base = make_entries(a=0.1, gone=0.1)
+        cur = make_entries(a=0.1)
+        _lines, lax = gate.compare_entries(base, cur, tolerance=3.0)
+        assert lax == []
+        _lines, strict = gate.compare_entries(base, cur, tolerance=3.0,
+                                              require_all=True)
+        assert len(strict) == 1 and "gone" in strict[0]
+
+    def test_zero_baseline_always_fails(self):
+        base = make_entries(a=0.0)
+        cur = make_entries(a=0.001)
+        _lines, failures = gate.compare_entries(base, cur, tolerance=3.0)
+        assert len(failures) == 1
+
+    def test_speedup_geomean(self):
+        base = make_entries(solver_a=0.4, solver_b=0.1, other=1.0)
+        cur = make_entries(solver_a=0.1, solver_b=0.025, other=1.0)
+        lines, geomean = gate.speedup_report(base, cur, match="solver")
+        assert len(lines) == 2
+        assert geomean == pytest.approx(4.0)
+
+    def test_speedup_requires_a_match(self):
+        base = make_entries(a=1.0)
+        cur = make_entries(a=1.0)
+        with pytest.raises(ValueError, match="no common benches"):
+            gate.speedup_report(base, cur, match="nothing-like-this")
+
+
+class TestGateCli:
+    def _write(self, tmp_path, name, runs):
+        record = trajectory.empty_trajectory()
+        for label, entries in runs:
+            trajectory.upsert_run(record, trajectory.build_run(
+                label, entries, selection="solver"))
+        path = tmp_path / name
+        trajectory.save_trajectory(path, record)
+        return path
+
+    def test_gate_mode_pass_and_fail(self, tmp_path, capsys):
+        committed = self._write(tmp_path, "BENCH_T.json",
+                                [("before", make_entries(a=0.1))])
+        fresh_ok = self._write(tmp_path, "fresh_ok.json",
+                               [("ci", make_entries(a=0.15))])
+        fresh_bad = self._write(tmp_path, "fresh_bad.json",
+                                [("ci", make_entries(a=0.9))])
+        assert gate.main(["--trajectory", str(committed),
+                          "--current", str(fresh_ok)]) == 0
+        assert gate.main(["--trajectory", str(committed),
+                          "--current", str(fresh_bad)]) == 1
+        # A looser tolerance turns the same numbers into a pass.
+        assert gate.main(["--trajectory", str(committed),
+                          "--current", str(fresh_bad),
+                          "--tolerance", "10"]) == 0
+        capsys.readouterr()
+
+    def test_compare_mode_min_speedup(self, tmp_path, capsys):
+        committed = self._write(
+            tmp_path, "BENCH_T.json",
+            [("before", make_entries(solver_a=0.4)),
+             ("after", make_entries(solver_a=0.1))])
+        assert gate.main(["--trajectory", str(committed),
+                          "--compare", "before", "after",
+                          "--match", "solver",
+                          "--min-speedup", "3.0"]) == 0
+        assert gate.main(["--trajectory", str(committed),
+                          "--compare", "before", "after",
+                          "--match", "solver",
+                          "--min-speedup", "5.0"]) == 1
+        capsys.readouterr()
+
+
+class TestGateProperties:
+    def test_identical_runs_always_pass_any_tolerance_above_one(self):
+        """Property: re-gating a run against itself can never fail --
+        the gate must be reflexive for any tolerance > 1."""
+        rng = random.Random(17)
+        for _ in range(50):
+            entries = make_entries(**{
+                f"bench_{i}": rng.uniform(1e-6, 10.0)
+                for i in range(rng.randint(1, 8))})
+            tolerance = rng.uniform(1.0001, 10.0)
+            _lines, failures = gate.compare_entries(
+                entries, dict(entries), tolerance=tolerance,
+                require_all=True)
+            assert failures == []
+
+    def test_scaling_by_factor_flips_exactly_at_tolerance(self):
+        rng = random.Random(23)
+        for _ in range(50):
+            seconds = rng.uniform(1e-4, 2.0)
+            tolerance = rng.uniform(1.5, 4.0)
+            base = make_entries(a=seconds)
+            slow = make_entries(a=seconds * tolerance * 1.01)
+            fast = make_entries(a=seconds * tolerance * 0.99)
+            assert gate.compare_entries(base, slow, tolerance)[1]
+            assert not gate.compare_entries(base, fast, tolerance)[1]

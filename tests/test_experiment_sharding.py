@@ -67,19 +67,19 @@ GOLDEN = json.loads(
 #: invalidate shared caches and must be deliberate, visible decisions.
 PINNED_DIGESTS = {
     "arraylayout":
-        "1bf5b9a4fd65c3decf27427f9931023b1a11dfc1082f0a398f6f312edb7409ee",
+        "bf2278ffc946ddc26d8080bdf5cff379a26cc43599b77937670f9638aa802a04",
     "costmodel":
-        "769cf487102f4b9e6e182e73bad264887283f62620f041eb8c9f74901fde297e",
+        "96739a4d549decbcf46785a8ebe52d8ac8c5a4e71111caa270691856cfcdeae1",
     "merging":
-        "fc7c611a5f2e90b881bee7beb8d45881e2f5a499da5c6107c2b404184a77d6a2",
+        "8b59b80e588c2336b2b0cd266acdc53d6607012c7dda0829f7f796f94eacfd84",
     "modreg":
-        "63f3d08327bae447ade3fae8d55c72c03a68d689e2cbf0be7021f1b9b93fe07e",
+        "34e9f3cdc5b4788b336e678c7b0ee0478040bc2c477d85ea0a3af7cfc9d1c1c5",
     "offset":
-        "86c7bdd1a32a9f71a89d901880819e48b63223f9c0f04e61030f5b74eecbc052",
+        "7abf2f939e7af72092815e11b8caf1cc5e4bc65d73d4a062e5a01b6e2c430234",
     "pathcover":
-        "163f59f309d091df3e508212dcc664d583a6f95fc03a8b48666807176256a7ba",
+        "a8e51038af32e21d055868d238bef3adfd018f7571e33b07f7107c37cfc3dd92",
     "reorder":
-        "b76c10670c5f2137cdd86f53b3850ee4701b3a361e472c476309779798ffd44a",
+        "f4466442e8076eb5de459b61cc23e6fc9c1ad53d2fccbdbae161e86ba0495ff3",
 }
 
 

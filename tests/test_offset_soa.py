@@ -108,6 +108,30 @@ class TestOptimal:
     def test_empty(self):
         assert optimal_assignment(AccessSequence(())) == ()
 
+    def test_mirror_prune_matches_unpruned_search(self):
+        """The mirror-symmetry prune must skip exactly one member of
+        each mirror pair -- never a layout whose mirror is also
+        skipped.  Differential oracle: the fully unpruned factorial
+        search."""
+        import itertools
+
+        def unpruned_best_cost(sequence, auto_range=1):
+            variables = sequence.variables()
+            best = assignment_cost(variables, sequence, auto_range)
+            for permutation in itertools.permutations(variables):
+                best = min(best, assignment_cost(permutation, sequence,
+                                                 auto_range))
+            return best
+
+        for seed in range(20):
+            for n_vars in (2, 3, 5, 6):
+                seq = random_sequence(n_vars, 25, seed=seed,
+                                      locality=0.4)
+                for auto_range in (1, 2):
+                    pruned = optimal_assignment(seq, auto_range)
+                    assert assignment_cost(pruned, seq, auto_range) \
+                        == unpruned_best_cost(seq, auto_range)
+
     def test_known_instance(self):
         # Weights: ab=4, cd=3, bc=1, da=1.  A layout like (b,a,d,c)
         # covers ab, ad, dc = 8 of the 9 transitions: cost exactly 1.

@@ -1,0 +1,191 @@
+"""Gate the committed perf trajectory against a fresh benchmark run.
+
+Two modes over the ``BENCH_<n>.json`` files that
+``tools/bench_trajectory.py`` writes:
+
+* **gate** (default): compare a freshly measured run against the
+  committed trajectory's baseline run; any bench slower than
+  ``tolerance x`` its committed wall time fails the check.  This is the
+  CI regression gate: it keeps the trajectory honest without flaking on
+  machine noise (the default tolerance is deliberately loose; tighten
+  it once the trajectory is regenerated on the CI machine class).
+
+* **compare** (``--compare A B``): print the per-bench speedup between
+  two labelled runs of one trajectory file (e.g. ``before`` vs
+  ``after``), optionally enforcing a minimum geometric-mean speedup
+  over a name filter -- how this repo proves "the solver micro-suite
+  got >= 3x faster" in CI rather than in prose.
+
+See ``docs/BENCHMARKS.md`` for the workflow.
+"""
+
+from __future__ import annotations
+
+import argparse
+import math
+import sys
+from pathlib import Path
+
+from bench_trajectory import get_run, load_trajectory
+
+#: Default slowdown factor tolerated before the gate fails.  Generous
+#: on purpose: CI machines are noisy and heterogenous; real hot-path
+#: regressions are well above this.
+DEFAULT_TOLERANCE = 3.0
+
+
+def compare_entries(baseline: dict[str, dict], current: dict[str, dict],
+                    tolerance: float,
+                    require_all: bool = False) -> tuple[list[str], list[str]]:
+    """Compare two entry maps; returns ``(report_lines, failures)``.
+
+    A bench fails when ``current / baseline > tolerance``.  Benches
+    missing from the current run fail only under ``require_all``;
+    benches new in the current run are reported but never fail (they
+    have no baseline yet).
+    """
+    lines: list[str] = []
+    failures: list[str] = []
+    names = sorted(set(baseline) | set(current))
+    width = max((len(name) for name in names), default=4)
+    for name in names:
+        base = baseline.get(name)
+        cur = current.get(name)
+        if base is None:
+            lines.append(f"  {name:<{width}}  (new bench, no baseline)")
+            continue
+        if cur is None:
+            message = f"  {name:<{width}}  missing from current run"
+            if require_all:
+                failures.append(f"{name}: missing from current run")
+                message += "  FAIL"
+            lines.append(message)
+            continue
+        ratio = cur["seconds"] / base["seconds"] \
+            if base["seconds"] > 0 else math.inf
+        verdict = "ok"
+        if ratio > tolerance:
+            verdict = f"FAIL (> {tolerance:g}x)"
+            failures.append(
+                f"{name}: {cur['seconds'] * 1000:.3f} ms vs committed "
+                f"{base['seconds'] * 1000:.3f} ms ({ratio:.2f}x)")
+        lines.append(
+            f"  {name:<{width}}  {base['seconds'] * 1000:10.3f} ms -> "
+            f"{cur['seconds'] * 1000:10.3f} ms  {ratio:6.2f}x  {verdict}")
+    return lines, failures
+
+
+def speedup_report(baseline: dict[str, dict], current: dict[str, dict],
+                   match: str | None = None) -> tuple[list[str], float]:
+    """Per-bench speedup lines plus the geometric-mean speedup.
+
+    ``speedup = baseline_seconds / current_seconds`` (>1 is faster).
+    ``match`` filters bench names by substring before aggregating.
+    """
+    names = [name for name in sorted(set(baseline) & set(current))
+             if match is None or match in name]
+    if not names:
+        raise ValueError(
+            f"no common benches match {match!r} between the two runs")
+    lines = []
+    log_sum = 0.0
+    width = max(len(name) for name in names)
+    for name in names:
+        speedup = baseline[name]["seconds"] / current[name]["seconds"]
+        log_sum += math.log(speedup)
+        lines.append(
+            f"  {name:<{width}}  "
+            f"{baseline[name]['seconds'] * 1000:10.3f} ms -> "
+            f"{current[name]['seconds'] * 1000:10.3f} ms  "
+            f"{speedup:6.2f}x")
+    return lines, math.exp(log_sum / len(names))
+
+
+def _warn_on_machine_mismatch(baseline_run: dict, current_run: dict) -> None:
+    base, cur = baseline_run.get("machine"), current_run.get("machine")
+    if base and cur and base != cur:
+        print("warning: machine fingerprints differ between runs; "
+              "wall-clock comparisons are approximate", file=sys.stderr)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code (0 pass, 1 fail)."""
+    parser = argparse.ArgumentParser(
+        description="compare benchmark trajectory runs and gate "
+                    "regressions")
+    parser.add_argument("--trajectory", type=Path, required=True,
+                        help="the committed BENCH_<n>.json")
+    parser.add_argument("--baseline-label", default=None,
+                        help="baseline run label inside --trajectory "
+                             "(default: the last run)")
+    parser.add_argument("--current", type=Path, default=None,
+                        help="trajectory file holding the fresh run to "
+                             "gate (gate mode)")
+    parser.add_argument("--current-label", default=None,
+                        help="run label inside --current "
+                             "(default: the last run)")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="allowed slowdown factor before the gate "
+                             f"fails (default {DEFAULT_TOLERANCE:g})")
+    parser.add_argument("--require-all", action="store_true",
+                        help="fail when a committed bench is missing "
+                             "from the current run")
+    parser.add_argument("--compare", nargs=2, metavar=("A", "B"),
+                        default=None,
+                        help="compare two labelled runs of --trajectory "
+                             "instead of gating")
+    parser.add_argument("--match", default=None,
+                        help="substring filter on bench names "
+                             "(compare mode)")
+    parser.add_argument("--min-speedup", type=float, default=None,
+                        help="fail unless the geometric-mean speedup "
+                             "of A -> B reaches this factor "
+                             "(compare mode)")
+    args = parser.parse_args(argv)
+
+    trajectory = load_trajectory(args.trajectory)
+
+    if args.compare is not None:
+        label_a, label_b = args.compare
+        run_a = get_run(trajectory, label_a)
+        run_b = get_run(trajectory, label_b)
+        _warn_on_machine_mismatch(run_a, run_b)
+        lines, geomean = speedup_report(run_a["entries"],
+                                        run_b["entries"],
+                                        match=args.match)
+        scope = f" (matching {args.match!r})" if args.match else ""
+        print(f"speedup {label_a!r} -> {label_b!r}{scope}:")
+        print("\n".join(lines))
+        print(f"geometric-mean speedup: {geomean:.2f}x")
+        if args.min_speedup is not None and geomean < args.min_speedup:
+            print(f"FAIL: geomean {geomean:.2f}x is below the required "
+                  f"{args.min_speedup:g}x", file=sys.stderr)
+            return 1
+        return 0
+
+    if args.current is None:
+        parser.error("gate mode needs --current (or use --compare)")
+    baseline_run = get_run(trajectory, args.baseline_label)
+    current_run = get_run(load_trajectory(args.current),
+                          args.current_label)
+    _warn_on_machine_mismatch(baseline_run, current_run)
+    lines, failures = compare_entries(
+        baseline_run["entries"], current_run["entries"],
+        tolerance=args.tolerance, require_all=args.require_all)
+    print(f"regression gate vs {args.trajectory.name} "
+          f"run {baseline_run['label']!r} "
+          f"(tolerance {args.tolerance:g}x):")
+    print("\n".join(lines))
+    if failures:
+        print(f"\nFAIL: {len(failures)} bench(es) regressed past "
+              f"{args.tolerance:g}x:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("\nOK: no bench regressed past the tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
