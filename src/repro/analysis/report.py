@@ -135,5 +135,5 @@ def save_report_markdown(path: str | Path,
     """Generate the report and write it to ``path``."""
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(generate_report(config))
+    target.write_text(generate_report(config), encoding="utf-8")
     return target

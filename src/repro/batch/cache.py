@@ -101,8 +101,8 @@ def _atomic_write_json(target: Path, payload) -> None:
     """
     target.parent.mkdir(parents=True, exist_ok=True)
     handle = tempfile.NamedTemporaryFile(
-        "w", dir=target.parent, prefix=target.name + ".",
-        suffix=".tmp", delete=False)
+        "w", encoding="utf-8", dir=target.parent,
+        prefix=target.name + ".", suffix=".tmp", delete=False)
     try:
         with handle:
             json.dump(payload, handle, sort_keys=True)
@@ -178,7 +178,7 @@ class JsonFileCache:
 
     def _load(self) -> dict[str, dict]:
         try:
-            raw = json.loads(self.path.read_text())
+            raw = json.loads(self.path.read_text(encoding="utf-8"))
         except (OSError, ValueError):
             return {}
         if not isinstance(raw, dict):
@@ -263,7 +263,7 @@ class ShardedDirectoryCache:
         count a miss (see the discard rules above)."""
         path = self._entry_path(digest)
         try:
-            payload = json.loads(path.read_text())
+            payload = json.loads(path.read_text(encoding="utf-8"))
         except OSError:
             # Missing or unreadable: a miss, but never a discard -- a
             # transient EIO/ESTALE on a shared mount must not destroy
@@ -294,7 +294,7 @@ class ShardedDirectoryCache:
         narrows the race to unlink-after-verify; losing that one costs a
         recompile, never a wrong result."""
         try:
-            payload = json.loads(path.read_text())
+            payload = json.loads(path.read_text(encoding="utf-8"))
         except OSError:
             return
         except ValueError:
@@ -368,7 +368,7 @@ def _open_file_store(path: Path, text: str, *,
     parsed twice per open.
     """
     try:
-        raw = path.read_text()
+        raw = path.read_text(encoding="utf-8")
     except FileNotFoundError:
         return JsonFileCache(text)  # the common new-store case
     except OSError as error:

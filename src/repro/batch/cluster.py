@@ -199,7 +199,8 @@ class _JobRequestHandler(socketserver.BaseRequestHandler):
                 try:
                     response = server.handle_worker_request(request,
                                                             owner)
-                except Exception as error:  # keep the connection alive
+                # repro-lint: disable=BROAD-EXCEPT -- not swallowed: the error goes back to the worker as an error frame, keeping the connection alive
+                except Exception as error:
                     response = {
                         "ok": False,
                         "error": f"{type(error).__name__}: {error}"}
@@ -355,7 +356,10 @@ class JobServer:
         self._server.job_server = self  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
         self._reaper: threading.Thread | None = None
-        self._served = False
+        # An Event, not a bool: the reaper thread polls this as its
+        # run condition while start/shutdown flip it from the
+        # controlling thread -- the flag itself must be race-free.
+        self._serving = threading.Event()
         self._closing = False
         self._connections: set[socket.socket] = set()
         self._connections_lock = threading.Lock()
@@ -646,15 +650,17 @@ class JobServer:
 
     # -- lifecycle -----------------------------------------------------
     def _start_reaper(self) -> None:
+        # repro-lint: disable=LOCK-DISCIPLINE -- _reaper is a lifecycle attr; only start/serve_forever call this, on the controlling thread
         if self._reaper is not None:
             return
 
         def reap_loop() -> None:
             interval = max(0.1, min(1.0, self.lease_timeout / 4))
-            while self._served:
+            while self._serving.is_set():
                 time.sleep(interval)
                 try:
                     self.reap_expired_leases()
+                # repro-lint: disable=BROAD-EXCEPT -- the reaper must outlive any one bad iteration; the failure is logged, not hidden
                 except Exception:  # pragma: no cover - belt and braces
                     _LOGGER.exception("lease reaper iteration failed")
 
@@ -665,14 +671,15 @@ class JobServer:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`shutdown`."""
-        self._served = True
+        self._serving.set()
         self._start_reaper()
         self._server.serve_forever(poll_interval=0.1)
 
     def start(self) -> "JobServer":
         """Serve on a daemon background thread; returns ``self``."""
-        self._served = True
+        self._serving.set()
         self._start_reaper()
+        # repro-lint: disable=LOCK-DISCIPLINE -- _thread is a lifecycle attr; start/shutdown run on one controlling thread
         self._thread = threading.Thread(
             target=self._server.serve_forever,
             kwargs={"poll_interval": 0.1},
@@ -684,18 +691,20 @@ class JobServer:
         """Stop serving: close the listener and every live connection
         (clients see the drop as a loud batch failure, workers exit
         their loops); idempotent."""
-        if self._served:
+        if self._serving.is_set():
             self._server.shutdown()
-            self._served = False
+            self._serving.clear()
         self._server.server_close()
         with self._connections_lock:
             self._closing = True
             live, self._connections = self._connections, set()
         for sock in live:
             _close_socket(sock)
+        # repro-lint: disable=LOCK-DISCIPLINE -- _thread is a lifecycle attr; joining under a lock handlers take would deadlock
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
+        # repro-lint: disable=LOCK-DISCIPLINE -- _reaper join, same single-controlling-thread lifecycle as _thread above
         if self._reaper is not None:
             self._reaper.join(timeout=5.0)
             self._reaper = None
@@ -869,6 +878,7 @@ class Worker:
                 started = time.perf_counter()
                 try:
                     result = execute_any(job)
+                # repro-lint: disable=BROAD-EXCEPT -- not swallowed: the failure is reported to the job server, which fails the batch with attribution
                 except Exception as error:
                     self._request({
                         "op": "fail", "lease": lease_id,

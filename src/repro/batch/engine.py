@@ -646,6 +646,7 @@ class BatchCompiler:
             self._store({job_digest(job): result.payload()
                          for job, result in zip(jobs, results)
                          if result is not None})
+        # repro-lint: disable=BROAD-EXCEPT -- best-effort persist while a batch failure is already propagating; logged, and the primary error keeps its attribution
         except Exception:
             _LOGGER.warning(
                 "failed to persist completed results while a batch "
@@ -756,6 +757,7 @@ class BatchCompiler:
                 if digests[position] not in persisted}
             try:
                 self._store(salvage)
+            # repro-lint: disable=BROAD-EXCEPT -- teardown salvage is best-effort; a cache write error must not displace what is propagating
             except Exception:
                 # Teardown salvage is best-effort: a cache write
                 # error must not displace whatever is already

@@ -205,7 +205,8 @@ class _CacheRequestHandler(socketserver.BaseRequestHandler):
                     return
                 try:
                     response = server.handle_request(request)
-                except Exception as error:  # keep the connection alive
+                # repro-lint: disable=BROAD-EXCEPT -- not swallowed: the error goes back to the client as an error frame, keeping the connection alive
+                except Exception as error:
                     response = {
                         "ok": False,
                         "error": f"{type(error).__name__}: {error}"}
@@ -283,7 +284,10 @@ class CacheServer:
             store.discard_corrupt = False
             self._restore_discard = True
         self._thread: threading.Thread | None = None
-        self._served = False
+        # An Event, not a bool: shutdown() consults it from whatever
+        # thread tears the server down while serve_forever runs
+        # elsewhere, so the flag itself must be race-free.
+        self._serving = threading.Event()
         self._connections: set[socket.socket] = set()
         self._connections_lock = threading.Lock()
         self._closing = False
@@ -380,12 +384,13 @@ class CacheServer:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`shutdown`."""
-        self._served = True
+        self._serving.set()
         self._server.serve_forever(poll_interval=0.1)
 
     def start(self) -> "CacheServer":
         """Serve on a daemon background thread; returns ``self``."""
-        self._served = True
+        self._serving.set()
+        # repro-lint: disable=LOCK-DISCIPLINE -- _thread is a lifecycle attr; start/shutdown run on one controlling thread
         self._thread = threading.Thread(
             target=self._server.serve_forever, kwargs={"poll_interval": 0.1},
             name="repro-cache-server", daemon=True)
@@ -396,18 +401,20 @@ class CacheServer:
         """Stop serving: close the listening socket *and* every live
         connection, so no handler thread keeps answering afterwards
         (idempotent)."""
-        if self._served:
+        if self._serving.is_set():
             self._server.shutdown()
-            self._served = False
+            self._serving.clear()
         self._server.server_close()
         with self._connections_lock:
             self._closing = True
             live, self._connections = self._connections, set()
         for sock in live:
             _close_socket(sock)
+        # repro-lint: disable=LOCK-DISCIPLINE -- _restore_discard is only touched here and in __init__, on the controlling thread
         if self._restore_discard:
             self.store.discard_corrupt = True
             self._restore_discard = False
+        # repro-lint: disable=LOCK-DISCIPLINE -- _thread is a lifecycle attr; joining under a lock handlers take would deadlock
         if self._thread is not None:
             self._thread.join(timeout=5.0)
             self._thread = None
@@ -515,14 +522,14 @@ class RemoteCache:
         with self._lock:
             self._close_locked()
 
-    def _degrade(self, error: BaseException | str) -> None:
+    def _degrade_locked(self, error: BaseException | str) -> None:
         self._down_since = time.monotonic()
         _LOGGER.warning(
             "cache server %s unreachable (%s); degrading to cache "
             "misses for %.1f s", self.endpoint, error,
             self.retry_interval)
 
-    def _roundtrip(self, message: dict) -> dict | None:
+    def _roundtrip_locked(self, message: dict) -> dict | None:
         if self._sock is None:
             self._sock = self._connect()
         send_frame(self._sock, message)
@@ -546,7 +553,7 @@ class RemoteCache:
                     return None
                 self._down_since = None
             try:
-                return self._roundtrip(message)
+                return self._roundtrip_locked(message)
             except FrameTooLargeError:
                 # A local serialization limit, not a server problem:
                 # the connection never saw a byte of it.  Callers
@@ -555,14 +562,14 @@ class RemoteCache:
             except (OSError, BatchError):
                 self._close_locked()
             try:
-                return self._roundtrip(message)
+                return self._roundtrip_locked(message)
             except FrameTooLargeError:
                 # Same local limit on the retry attempt: still not the
                 # server's fault, still no degradation.
                 raise
             except (OSError, BatchError) as error:
                 self._close_locked()
-                self._degrade(error)
+                self._degrade_locked(error)
                 return None
 
     # -- the CacheBackend protocol -------------------------------------
@@ -618,12 +625,14 @@ class RemoteCache:
         the server writable, and a long-lived run should pick its
         persistence back up rather than drop stores forever.
         """
-        if self._readonly_since is None:
+        with self._lock:
+            if self._readonly_since is None:
+                return False
+            if time.monotonic() - self._readonly_since \
+                    < self.retry_interval:
+                return True
+            self._readonly_since = None
             return False
-        if time.monotonic() - self._readonly_since < self.retry_interval:
-            return True
-        self._readonly_since = None
-        return False
 
     def put(self, digest: str, payload: dict) -> None:
         """Store one payload; silently dropped when degraded/read-only
@@ -657,7 +666,7 @@ class RemoteCache:
                 continue
             if self._accepted(response):
                 self.stats.stores += len(chunk)
-            elif response is None or self._readonly_since is not None:
+            elif response is None or self._stores_disabled():
                 # Degraded, or the server just revealed itself as
                 # read-only: drop the remaining chunks too.
                 return
@@ -671,11 +680,12 @@ class RemoteCache:
         if response.get("ok"):
             return True
         if response.get("readonly"):
-            if self._readonly_since is None:
-                _LOGGER.warning(
-                    "cache server %s is read-only; dropping stores "
-                    "for %.1f s", self.endpoint, self.retry_interval)
-            self._readonly_since = time.monotonic()
+            with self._lock:
+                if self._readonly_since is None:
+                    _LOGGER.warning(
+                        "cache server %s is read-only; dropping stores "
+                        "for %.1f s", self.endpoint, self.retry_interval)
+                self._readonly_since = time.monotonic()
         else:
             _LOGGER.warning("cache server %s rejected a store: %s",
                             self.endpoint, response.get("error"))

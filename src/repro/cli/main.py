@@ -70,7 +70,7 @@ from repro.workloads.suite import SUITES
 def _read_source(path: str) -> str:
     if path == "-":
         return sys.stdin.read()
-    return Path(path).read_text()
+    return Path(path).read_text(encoding="utf-8")
 
 
 def _spec_from_args(args: argparse.Namespace) -> AguSpec:

@@ -99,12 +99,12 @@ def format_trace(pattern: AccessPattern) -> str:
 
 def load_trace(path: str | Path) -> AccessPattern:
     """Read a trace file."""
-    return parse_trace(Path(path).read_text())
+    return parse_trace(Path(path).read_text(encoding="utf-8"))
 
 
 def save_trace(pattern: AccessPattern, path: str | Path) -> Path:
     """Write a pattern as a trace file."""
     target = Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
-    target.write_text(format_trace(pattern))
+    target.write_text(format_trace(pattern), encoding="utf-8")
     return target

@@ -1,112 +1,41 @@
 #!/usr/bin/env python
-"""Public-docstring coverage gate (an in-repo, dependency-free stand-in
-for ``interrogate``/``pydocstyle``, which the CI image does not ship).
+"""Public-docstring coverage gate -- thin shim over repro-lint.
 
-Walks ``src/repro`` with ``ast`` and requires a docstring on every
-*public* definition: modules, classes, functions, and methods whose
-names do not start with ``_`` (dunders other than ``__init__`` are
-exempt, as are ``@overload`` stubs and trivial ``...`` bodies of
-Protocol members).  Two thresholds are enforced:
-
-* the strict set (``STRICT_PACKAGES``: the public API surface --
-  ``repro/__init__``, ``repro.batch.*``, ``repro.cli.*``) must be at
-  **100 %**;
-* the whole tree must not fall below ``FAIL_UNDER`` percent (pinned at
-  the level this gate was introduced, so coverage can only ratchet
-  up).
+The implementation moved into the lint framework as the
+``DOCSTRING-PUBLIC`` rule (``tools/lint/rules/docstrings.py``); this
+script survives so CI's docs-lint step and developer muscle memory
+keep working unchanged.  It prints the same coverage summary as
+before and exits nonzero on any docstring finding.
 
 Run from the repository root::
 
     python tools/check_docstrings.py            # gate (exit 1 on fail)
     python tools/check_docstrings.py --list     # show missing names
+
+Prefer ``python tools/run_lint.py`` for the full rule set.
 """
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
 
-ROOT = Path(__file__).resolve().parents[1]
-SOURCE = ROOT / "src" / "repro"
+sys.path.insert(0, str(Path(__file__).resolve().parent))
 
-#: Module prefixes that must sit at 100 % public docstring coverage.
-STRICT_PACKAGES = ("repro", "repro.batch", "repro.cli")
+from lint.rules.docstrings import (  # noqa: E402  (path bootstrap first)
+    FAIL_UNDER,
+    STRICT_PACKAGES,
+    audit_tree,
+    in_strict_packages,
+    module_name,
+)
+from lint.runner import REPO_ROOT, load_module  # noqa: E402
 
-#: Whole-tree floor, percent.  Raise when coverage improves; never
-#: lower it.
-FAIL_UNDER = 99.0
-
-
-def module_name(path: Path) -> str:
-    relative = path.relative_to(SOURCE.parent)
-    parts = list(relative.with_suffix("").parts)
-    if parts[-1] == "__init__":
-        parts.pop()
-    return ".".join(parts)
-
-
-def is_public(name: str) -> bool:
-    return not name.startswith("_") or name == "__init__"
-
-
-def is_trivial_body(node: ast.AST) -> bool:
-    """Protocol/overload members whose body is just ``...`` (possibly
-    after a docstring-less signature) document themselves elsewhere."""
-    body = getattr(node, "body", [])
-    return len(body) == 1 and isinstance(body[0], ast.Expr) \
-        and isinstance(body[0].value, ast.Constant) \
-        and body[0].value.value is Ellipsis
-
-
-def has_overload_decorator(node: ast.AST) -> bool:
-    for decorator in getattr(node, "decorator_list", []):
-        name = decorator.id if isinstance(decorator, ast.Name) else \
-            decorator.attr if isinstance(decorator, ast.Attribute) \
-            else None
-        if name == "overload":
-            return True
-    return False
-
-
-def audit_module(path: Path) -> tuple[list[str], list[str]]:
-    """``(documented, missing)`` fully qualified public names."""
-    name = module_name(path)
-    tree = ast.parse(path.read_text())
-    documented: list[str] = []
-    missing: list[str] = []
-
-    def record(qualified: str, node: ast.AST) -> None:
-        target = documented if ast.get_docstring(node) else missing
-        target.append(qualified)
-
-    record(name, tree)
-
-    def walk(scope: str, body: list[ast.stmt]) -> None:
-        for node in body:
-            if isinstance(node, ast.ClassDef):
-                if not is_public(node.name):
-                    continue
-                qualified = f"{scope}.{node.name}"
-                record(qualified, node)
-                walk(qualified, node.body)
-            elif isinstance(node, (ast.FunctionDef,
-                                   ast.AsyncFunctionDef)):
-                if not is_public(node.name):
-                    continue
-                if node.name == "__init__":
-                    # The class docstring documents construction.
-                    continue
-                if has_overload_decorator(node) \
-                        or is_trivial_body(node):
-                    continue
-                record(f"{scope}.{node.name}", node)
-
-    walk(name, tree.body)
-    return documented, missing
+SOURCE = REPO_ROOT / "src" / "repro"
 
 
 def main(argv: list[str]) -> int:
+    """Audit ``src/repro`` and report like the pre-shim gate did."""
     show_missing = "--list" in argv
     documented: list[str] = []
     missing: list[str] = []
@@ -114,13 +43,13 @@ def main(argv: list[str]) -> int:
     for path in sorted(SOURCE.rglob("*.py")):
         if "__pycache__" in path.parts:
             continue
-        has, lacks = audit_module(path)
+        module = load_module(path, root=REPO_ROOT)
+        name = module_name(module.relpath)
+        has, lacks = audit_tree(name, module.tree)
         documented.extend(has)
-        missing.extend(lacks)
-        module = module_name(path)
-        package = module.rsplit(".", 1)[0] if "." in module else module
-        if module in STRICT_PACKAGES or package in STRICT_PACKAGES:
-            strict_missing.extend(lacks)
+        missing.extend(qualified for qualified, _ in lacks)
+        if in_strict_packages(name):
+            strict_missing.extend(qualified for qualified, _ in lacks)
 
     total = len(documented) + len(missing)
     coverage = 100.0 * len(documented) / total if total else 100.0

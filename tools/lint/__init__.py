@@ -1,0 +1,43 @@
+"""repro-lint: project-native static analysis for this repository.
+
+A dependency-free, stdlib-``ast`` linter that enforces the four
+contracts of the batch substrate (see ``docs/ARCHITECTURE.md``)
+*statically* instead of waiting for runtime tests to catch violations:
+picklable jobs, deterministic digest inputs, lock-protected shared
+state, explicit I/O encodings, no swallowed batch errors, and closed
+sockets.  ``tools/run_lint.py`` is the command-line front door; CI
+gates on a clean run.
+
+Layout:
+
+* :mod:`lint.diagnostics` -- the :class:`~lint.diagnostics.Diagnostic`
+  record every rule emits (file/line/column attributed).
+* :mod:`lint.suppressions` -- ``# repro-lint: disable=RULE`` comment
+  parsing.
+* :mod:`lint.registry` -- the rule base classes and the registry all
+  rule modules register into.
+* :mod:`lint.reporters` -- text and JSON renderers (the JSON form
+  round-trips; CI uploads it as an artifact).
+* :mod:`lint.runner` -- file collection, rule execution, suppression
+  filtering, and the CLI implementation.
+* :mod:`lint.rules` -- the project-specific rules themselves.
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue, the
+suppression policy, and how to add a rule.
+"""
+
+from lint.diagnostics import Diagnostic
+from lint.registry import Module, ProjectRule, Rule, all_rules, get_rule
+from lint.runner import LintResult, lint_paths, lint_source
+
+__all__ = [
+    "Diagnostic",
+    "LintResult",
+    "Module",
+    "ProjectRule",
+    "Rule",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+]

@@ -1,0 +1,98 @@
+"""Small shared AST utilities the rules lean on.
+
+Everything here is *syntactic*: rules in this linter are conservative
+by design (no type inference, no cross-module resolution), so these
+helpers answer questions like "is this call spelled
+``threading.Lock(...)``" -- not "does this expression evaluate to a
+lock".
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def call_name(node: ast.Call) -> str | None:
+    """The dotted name a call is spelled with, else ``None``."""
+    return dotted_name(node.func)
+
+
+def self_attribute(node: ast.AST) -> str | None:
+    """``attr`` when ``node`` is exactly ``self.attr``, else ``None``."""
+    if isinstance(node, ast.Attribute) \
+            and isinstance(node.value, ast.Name) \
+            and node.value.id == "self":
+        return node.attr
+    return None
+
+
+def keyword_names(node: ast.Call) -> set[str]:
+    """The explicit keyword-argument names of a call (``**kwargs``
+    double-stars count as "anything could be passed" and are returned
+    as ``"**"``)."""
+    return {keyword.arg if keyword.arg is not None else "**"
+            for keyword in node.keywords}
+
+
+def constant_str(node: ast.AST | None) -> str | None:
+    """The value of a string-literal node, else ``None``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def walk_functions(tree: ast.AST) -> Iterator[
+        ast.FunctionDef | ast.AsyncFunctionDef]:
+    """Every function/method definition in ``tree``, including nested
+    ones."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+def has_bare_reraise(handler: ast.ExceptHandler) -> bool:
+    """Whether an except handler re-raises the active exception (a
+    bare ``raise``) anywhere in its body -- the pattern that makes a
+    broad catch safe."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+def has_raise(handler: ast.ExceptHandler) -> bool:
+    """Whether an except handler raises *anything* -- bare re-raise or
+    catch-wrap-rethrow (``raise JobFailure(i, e) from e``).  Either
+    way the exception is propagated, not swallowed."""
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+    return False
+
+
+def exception_names(handler: ast.ExceptHandler) -> set[str]:
+    """The dotted names a handler catches (empty set for a bare
+    ``except:``)."""
+    if handler.type is None:
+        return set()
+    types = handler.type.elts if isinstance(handler.type, ast.Tuple) \
+        else [handler.type]
+    names = set()
+    for node in types:
+        name = dotted_name(node)
+        if name is not None:
+            names.add(name)
+    return names

@@ -1,0 +1,49 @@
+"""The diagnostic record every lint rule emits.
+
+A :class:`Diagnostic` is deliberately flat and JSON-able: the reporters
+(:mod:`lint.reporters`) serialize it without any translation layer, and
+the JSON report round-trips back into the same dataclass, which is what
+the reporter tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One finding: a rule violation at a file position.
+
+    Ordering is (path, line, column, rule_id, message), which is the
+    stable order reports are rendered in.
+    """
+
+    #: Repo-relative POSIX path of the offending file.
+    path: str
+    #: 1-based line of the offending node.
+    line: int
+    #: 0-based column of the offending node (``ast`` convention).
+    column: int
+    #: The registered rule identifier (e.g. ``LOCK-DISCIPLINE``).
+    rule_id: str
+    #: Human-readable account of what is wrong and why it matters.
+    message: str
+
+    def location(self) -> str:
+        """``path:line:column`` for text reports (clickable in most
+        editors and CI log viewers)."""
+        return f"{self.path}:{self.line}:{self.column}"
+
+    def to_json(self) -> dict:
+        """The plain-dict form the JSON reporter serializes."""
+        return asdict(self)
+
+    @classmethod
+    def from_json(cls, payload: dict) -> "Diagnostic":
+        """Rebuild a diagnostic from :meth:`to_json` output."""
+        return cls(path=str(payload["path"]),
+                   line=int(payload["line"]),
+                   column=int(payload["column"]),
+                   rule_id=str(payload["rule_id"]),
+                   message=str(payload["message"]))

@@ -1,0 +1,119 @@
+"""Rule base classes and the registry the runner executes from.
+
+A rule is a class with a unique ``rule_id``, a one-line
+``description`` (what the rule forbids), and a ``rationale`` (which
+architecture contract it protects -- surfaced by ``--list-rules`` and
+the docs).  Register with the :func:`register` decorator; the runner
+instantiates each rule once per process.
+
+Two granularities:
+
+* :class:`Rule` -- ``check_module(module)`` runs once per file with
+  its parsed AST; the common case.
+* :class:`ProjectRule` -- ``check_project(modules)`` runs once over
+  every scanned file, for properties no single file can decide (the
+  docstring-coverage floor).
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence, Type
+
+from lint.diagnostics import Diagnostic
+from lint.suppressions import Suppressions
+
+
+@dataclass
+class Module:
+    """One parsed source file, as rules see it."""
+
+    #: Absolute filesystem path.
+    path: Path
+    #: Repo-relative POSIX path (what diagnostics carry).
+    relpath: str
+    #: The raw source text.
+    source: str
+    #: The parsed AST.
+    tree: ast.Module
+    #: Parsed ``# repro-lint:`` suppression comments.
+    suppressions: Suppressions
+
+
+class Rule:
+    """Base class of per-module rules."""
+
+    #: Unique identifier, UPPER-KEBAB (what suppressions name).
+    rule_id: str = ""
+    #: One line: what the rule forbids.
+    description: str = ""
+    #: Which contract the rule protects, and why it matters.
+    rationale: str = ""
+
+    def check_module(self, module: Module) -> Iterable[Diagnostic]:
+        """Yield diagnostics for one parsed file."""
+        raise NotImplementedError
+
+    def diagnostic(self, module: Module, node: ast.AST,
+                   message: str) -> Diagnostic:
+        """A diagnostic at ``node``'s position in ``module``."""
+        return Diagnostic(
+            path=module.relpath,
+            line=getattr(node, "lineno", 1),
+            column=getattr(node, "col_offset", 0),
+            rule_id=self.rule_id,
+            message=message)
+
+
+class ProjectRule(Rule):
+    """Base class of whole-project rules (run once over all files)."""
+
+    def check_module(self, module: Module) -> Iterable[Diagnostic]:
+        """Project rules do their work in :meth:`check_project`."""
+        return ()
+
+    def check_project(self,
+                      modules: Sequence[Module]) -> Iterable[Diagnostic]:
+        """Yield diagnostics over the whole scanned file set."""
+        raise NotImplementedError
+
+
+#: The registry: rule_id -> rule instance, in registration order.
+_RULES: dict[str, Rule] = {}
+
+
+def register(rule_class: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the registry (id collisions
+    are a programming error and fail loudly)."""
+    rule = rule_class()
+    if not rule.rule_id:
+        raise ValueError(f"{rule_class.__name__} has no rule_id")
+    if rule.rule_id in _RULES:
+        raise ValueError(f"duplicate rule id {rule.rule_id!r}")
+    _RULES[rule.rule_id] = rule
+    return rule_class
+
+
+def all_rules() -> list[Rule]:
+    """Every registered rule, in registration order (rule modules are
+    imported on first use)."""
+    _load_rule_modules()
+    return list(_RULES.values())
+
+
+def get_rule(rule_id: str) -> Rule:
+    """The registered rule named ``rule_id``."""
+    _load_rule_modules()
+    try:
+        return _RULES[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_RULES))
+        raise KeyError(
+            f"unknown rule {rule_id!r} (registered: {known})") from None
+
+
+def _load_rule_modules() -> None:
+    """Import the rules package, which registers every rule."""
+    import lint.rules  # noqa: F401  (import-for-effect)

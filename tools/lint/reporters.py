@@ -1,0 +1,62 @@
+"""Text and JSON renderers for lint results.
+
+The text form is for humans and CI logs; the JSON form is the
+machine-readable artifact CI uploads, and it *round-trips*:
+:func:`parse_json_report` rebuilds the exact diagnostics
+:func:`render_json` serialized, which the reporter tests pin so
+downstream tooling can rely on the schema.
+"""
+
+from __future__ import annotations
+
+import json
+
+from lint.diagnostics import Diagnostic
+
+#: Schema version of the JSON report; bump on breaking layout changes.
+REPORT_SCHEMA = 1
+
+
+def render_text(diagnostics: list[Diagnostic], *, n_files: int,
+                n_suppressed: int) -> str:
+    """The human-readable report: one ``path:line:col: RULE message``
+    row per finding plus a one-line summary."""
+    lines = [f"{diag.location()}: {diag.rule_id} {diag.message}"
+             for diag in diagnostics]
+    verdict = "clean" if not diagnostics else \
+        f"{len(diagnostics)} issue(s)"
+    lines.append(
+        f"repro-lint: {verdict} in {n_files} file(s) "
+        f"({n_suppressed} finding(s) suppressed)")
+    return "\n".join(lines)
+
+
+def render_json(diagnostics: list[Diagnostic], *, n_files: int,
+                n_suppressed: int) -> str:
+    """The machine-readable report (stable key order, trailing
+    newline -- diff- and artifact-friendly)."""
+    payload = {
+        "schema": REPORT_SCHEMA,
+        "tool": "repro-lint",
+        "files_checked": n_files,
+        "suppressed": n_suppressed,
+        "diagnostics": [diag.to_json() for diag in diagnostics],
+    }
+    return json.dumps(payload, indent=1, sort_keys=True) + "\n"
+
+
+def parse_json_report(text: str) -> list[Diagnostic]:
+    """Rebuild the diagnostics serialized by :func:`render_json`.
+
+    Raises ``ValueError`` on schema mismatches -- a consumer reading a
+    report written by a different tool version should fail loudly, not
+    misinterpret fields.
+    """
+    payload = json.loads(text)
+    schema = payload.get("schema")
+    if schema != REPORT_SCHEMA:
+        raise ValueError(
+            f"unsupported lint report schema {schema!r} (this reader "
+            f"speaks schema {REPORT_SCHEMA})")
+    return [Diagnostic.from_json(entry)
+            for entry in payload["diagnostics"]]

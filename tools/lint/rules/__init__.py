@@ -1,0 +1,16 @@
+"""The project-specific rule set (importing this package registers
+every rule with :mod:`lint.registry`).
+
+One module per rule family; see ``docs/STATIC_ANALYSIS.md`` for the
+catalogue with rationale and examples.
+"""
+
+from lint.rules import (  # noqa: F401  (import-for-effect registration)
+    digest,
+    docstrings,
+    encodings,
+    excepts,
+    locks,
+    picklability,
+    sockets,
+)

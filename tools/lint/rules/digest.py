@@ -1,0 +1,177 @@
+"""DIGEST-DETERMINISM: nothing nondeterministic may feed a digest.
+
+Contract: the result cache is content-addressed --
+``digest.canonical`` lowers a job's parameters to canonical JSON and
+the SHA-256 of that text is the cache key.  The whole scheme is void
+if anything fed into the digest varies between runs, processes, or
+hosts.  This rule runs an intraprocedural taint pass over every
+function that computes digests (calls ``canonical`` /
+``digest_payload`` / ``job_digest``, or *is* a ``cache_key`` method)
+and flags:
+
+* nondeterministic primitives (``id()``, ``hash()``, ``time.*`` /
+  ``datetime.now`` clocks, unseeded module-level ``random.*``,
+  ``uuid.uuid1/uuid4``, ``os.urandom``) appearing in a digest call's
+  arguments or a ``cache_key`` return value, directly or through a
+  local assignment;
+* order-erasing conversions (``list(...)`` / ``tuple(...)`` over a
+  set literal or ``set(...)`` call) inside digest payloads --
+  ``canonical`` sorts *sets* structurally, but a pre-materialized
+  list of a set freezes one interpreter's iteration order into the
+  key.
+
+Seeded generators (``random.Random(seed)`` instances) are fine: the
+rule only flags the module-level ``random.*`` functions that consume
+hidden global state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from lint.asthelpers import call_name, walk_functions
+from lint.diagnostics import Diagnostic
+from lint.registry import Module, Rule, register
+
+#: The digest entry points whose arguments must be deterministic.
+DIGEST_CALLS = {"canonical", "digest_payload", "job_digest"}
+
+#: Method name whose return value *is* a digest payload.
+CACHE_KEY_METHOD = "cache_key"
+
+#: Call spellings whose results differ across runs/processes/hosts.
+_NONDETERMINISTIC = {
+    "id", "hash",
+    "time.time", "time.time_ns", "time.monotonic",
+    "time.monotonic_ns", "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.now", "datetime.utcnow", "datetime.today",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "random.random", "random.randint", "random.randrange",
+    "random.choice", "random.shuffle", "random.sample",
+    "random.uniform", "random.getrandbits",
+    "uuid.uuid1", "uuid.uuid4",
+    "os.urandom",
+}
+
+#: Conversions that freeze an iteration order into a sequence
+#: (``sorted`` is the fix, not an offence).
+_ORDER_ERASERS = {"list", "tuple", "iter"}
+
+
+def _is_setlike(node: ast.AST) -> bool:
+    return isinstance(node, (ast.Set, ast.SetComp)) or (
+        isinstance(node, ast.Call)
+        and call_name(node) in ("set", "frozenset"))
+
+
+def _nondet_call(node: ast.AST) -> str | None:
+    """The offending spelling when ``node`` is a nondeterministic
+    call, else ``None``."""
+    if not isinstance(node, ast.Call):
+        return None
+    name = call_name(node)
+    if name in _NONDETERMINISTIC:
+        return name
+    return None
+
+
+def _tainted_names(function: ast.AST) -> dict[str, str]:
+    """Locals assigned (possibly transitively) from nondeterministic
+    calls, mapped to the originating spelling."""
+    tainted: dict[str, str] = {}
+    # Two passes reach the chains that matter in practice
+    # (x = time.time(); y = x) without a full fixpoint.
+    for _ in range(2):
+        for node in ast.walk(function):
+            if not isinstance(node, ast.Assign):
+                continue
+            source: str | None = None
+            for child in ast.walk(node.value):
+                spelled = _nondet_call(child)
+                if spelled is not None:
+                    source = f"{spelled}()"
+                    break
+                if isinstance(child, ast.Name) \
+                        and child.id in tainted:
+                    source = tainted[child.id]
+                    break
+            if source is None:
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    tainted[target.id] = source
+    return tainted
+
+
+def _offences_in(payload: ast.AST,
+                 tainted: dict[str, str]) -> Iterator[tuple[ast.AST, str]]:
+    """(node, account) pairs for every nondeterminism inside a digest
+    payload expression."""
+    for node in ast.walk(payload):
+        spelled = _nondet_call(node)
+        if spelled is not None:
+            yield node, f"calls {spelled}()"
+            continue
+        if isinstance(node, ast.Name) and node.id in tainted:
+            yield node, (f"uses {node.id!r}, assigned from "
+                         f"{tainted[node.id]}")
+            continue
+        if isinstance(node, ast.Call) \
+                and call_name(node) in _ORDER_ERASERS \
+                and node.args and _is_setlike(node.args[0]):
+            yield node, (f"materializes set iteration order via "
+                         f"{call_name(node)}(); sort first "
+                         f"(sorted(...)) or pass the set itself")
+
+
+@register
+class DigestDeterminismRule(Rule):
+    """Flag nondeterministic values flowing into content digests."""
+
+    rule_id = "DIGEST-DETERMINISM"
+    description = ("no id()/hash()/clocks/unseeded random/set-order "
+                   "values in digest payloads or cache_key returns")
+    rationale = ("the cache is content-addressed; a nondeterministic "
+                 "digest input silently forks cache keys across "
+                 "runs and hosts, destroying hit rates and "
+                 "bit-identity checks")
+
+    def check_module(self, module: Module) -> Iterable[Diagnostic]:
+        for function in walk_functions(module.tree):
+            yield from self._check_function(module, function)
+
+    def _check_function(self, module: Module,
+                        function: ast.AST) -> Iterator[Diagnostic]:
+        is_cache_key = getattr(function, "name", "") == CACHE_KEY_METHOD
+        digest_calls = [node for node in ast.walk(function)
+                        if isinstance(node, ast.Call)
+                        and call_name(node) is not None
+                        and call_name(node).rsplit(".", 1)[-1]
+                        in DIGEST_CALLS]
+        if not digest_calls and not is_cache_key:
+            return
+        tainted = _tainted_names(function)
+        seen: set[tuple[int, int]] = set()
+        payloads: list[ast.AST] = []
+        for call in digest_calls:
+            payloads.extend(call.args)
+            payloads.extend(keyword.value
+                            for keyword in call.keywords)
+        if is_cache_key:
+            payloads.extend(node.value
+                            for node in ast.walk(function)
+                            if isinstance(node, ast.Return)
+                            and node.value is not None)
+        for payload in payloads:
+            for node, account in _offences_in(payload, tainted):
+                key = (getattr(node, "lineno", 0),
+                       getattr(node, "col_offset", 0))
+                if key in seen:
+                    continue
+                seen.add(key)
+                yield self.diagnostic(
+                    module, node,
+                    f"digest payload {account}; digest inputs must "
+                    f"be byte-stable across runs and hosts")

@@ -1,0 +1,234 @@
+"""File collection, rule execution, and the repro-lint CLI.
+
+:func:`lint_paths` is the library entry point (the front-door script
+and the tests call it); :func:`main` is the CLI behind
+``tools/run_lint.py``.  Exit codes: 0 clean, 1 findings, 2 usage
+errors -- so CI can gate on the process status alone.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Sequence
+
+from lint import suppressions
+from lint.diagnostics import Diagnostic
+from lint.registry import Module, ProjectRule, Rule, all_rules, get_rule
+from lint.reporters import render_json, render_text
+
+#: The repository root (this file lives at tools/lint/runner.py).
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: What a bare ``repro-lint`` invocation scans.
+DEFAULT_TARGETS = ("src", "tools", "benchmarks")
+
+#: Pseudo-rule id attached to files that do not parse.  Deliberately
+#: not a registered (suppressible) rule: a syntax error must never be
+#: silenced, only fixed.
+PARSE_ERROR = "PARSE-ERROR"
+
+
+@dataclass
+class LintResult:
+    """What one lint run produced."""
+
+    #: Surviving (non-suppressed) findings, in report order.
+    diagnostics: list[Diagnostic] = field(default_factory=list)
+    #: Files scanned.
+    n_files: int = 0
+    #: Findings silenced by ``# repro-lint: disable`` comments.
+    n_suppressed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        """Whether the run found nothing."""
+        return not self.diagnostics
+
+
+def _collect_files(targets: Sequence[Path]) -> list[Path]:
+    files: list[Path] = []
+    for target in targets:
+        if target.is_dir():
+            files.extend(path for path in sorted(target.rglob("*.py"))
+                         if "__pycache__" not in path.parts)
+        elif target.suffix == ".py":
+            files.append(target)
+    # De-duplicate while keeping a stable order (overlapping targets).
+    unique: dict[Path, None] = dict.fromkeys(
+        path.resolve() for path in files)
+    return sorted(unique)
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.relative_to(root).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def load_module(path: Path, *, root: Path = REPO_ROOT) -> Module:
+    """Parse one file into the :class:`Module` rules consume (raises
+    on unreadable/unparsable input; the lint loop catches instead)."""
+    relpath = _relpath(path, root)
+    source = path.read_text(encoding="utf-8")
+    tree = ast.parse(source, filename=str(path))
+    return Module(path=path, relpath=relpath, source=source,
+                  tree=tree, suppressions=suppressions.collect(source))
+
+
+def _load_module(path: Path, root: Path) -> Module | Diagnostic:
+    """Parse one file; a syntax error becomes a diagnostic instead of
+    aborting the run."""
+    try:
+        return load_module(path, root=root)
+    except (OSError, SyntaxError, ValueError) as error:
+        line = getattr(error, "lineno", None) or 1
+        return Diagnostic(path=_relpath(path, root), line=int(line),
+                          column=0, rule_id=PARSE_ERROR,
+                          message=f"file does not parse: {error}")
+
+
+def _run_rules(modules: list[Module],
+               rules: list[Rule]) -> list[Diagnostic]:
+    raw: list[Diagnostic] = []
+    module_rules = [rule for rule in rules
+                    if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in rules
+                     if isinstance(rule, ProjectRule)]
+    for module in modules:
+        for rule in module_rules:
+            raw.extend(rule.check_module(module))
+    for rule in project_rules:
+        raw.extend(rule.check_project(modules))
+    return raw
+
+
+def _filter_suppressed(raw: list[Diagnostic],
+                       modules: dict[str, Module],
+                       result: LintResult) -> None:
+    for diag in sorted(set(raw)):
+        module = modules.get(diag.path)
+        if module is not None and module.suppressions.is_suppressed(
+                diag.rule_id, diag.line):
+            result.n_suppressed += 1
+            continue
+        result.diagnostics.append(diag)
+
+
+def lint_paths(targets: Sequence[str | Path] | None = None, *,
+               rule_ids: Sequence[str] | None = None,
+               root: Path = REPO_ROOT) -> LintResult:
+    """Lint files/directories with the registered rules.
+
+    ``targets`` defaults to the project's scanned surface
+    (:data:`DEFAULT_TARGETS` under ``root``); ``rule_ids`` restricts
+    the run to named rules (every registered rule otherwise).
+    """
+    resolved = [Path(target) if Path(target).is_absolute()
+                else root / target
+                for target in (targets or DEFAULT_TARGETS)]
+    rules = [get_rule(rule_id) for rule_id in rule_ids] \
+        if rule_ids else all_rules()
+    result = LintResult()
+    modules: list[Module] = []
+    raw: list[Diagnostic] = []
+    for path in _collect_files(resolved):
+        loaded = _load_module(path, root)
+        if isinstance(loaded, Diagnostic):
+            raw.append(loaded)
+            result.n_files += 1
+            continue
+        modules.append(loaded)
+        result.n_files += 1
+    raw.extend(_run_rules(modules, rules))
+    _filter_suppressed(raw, {module.relpath: module
+                             for module in modules}, result)
+    return result
+
+
+def lint_source(source: str, relpath: str = "fixture.py", *,
+                rule_ids: Sequence[str] | None = None) -> LintResult:
+    """Lint one in-memory snippet (the fixture-test entry point).
+
+    ``relpath`` is the path the snippet *claims* to live at, which
+    matters to path-scoped rules (e.g. the broad-except rule is
+    stricter inside ``src/repro/batch/``).
+    """
+    rules = [get_rule(rule_id) for rule_id in rule_ids] \
+        if rule_ids else all_rules()
+    result = LintResult(n_files=1)
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as error:
+        result.diagnostics.append(Diagnostic(
+            path=relpath, line=int(error.lineno or 1), column=0,
+            rule_id=PARSE_ERROR,
+            message=f"file does not parse: {error}"))
+        return result
+    module = Module(path=Path(relpath), relpath=relpath, source=source,
+                    tree=tree, suppressions=suppressions.collect(source))
+    raw = _run_rules([module], rules)
+    _filter_suppressed(raw, {relpath: module}, result)
+    return result
+
+
+def _list_rules() -> str:
+    lines = ["registered rules:"]
+    for rule in all_rules():
+        lines.append(f"  {rule.rule_id:<20} {rule.description}")
+        if rule.rationale:
+            lines.append(f"  {'':<20} rationale: {rule.rationale}")
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """The repro-lint CLI; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="project-native static analysis: contract "
+                    "linters for the batch substrate (see "
+                    "docs/STATIC_ANALYSIS.md)")
+    parser.add_argument(
+        "targets", nargs="*", default=None,
+        help=f"files or directories to lint (default: "
+             f"{' '.join(DEFAULT_TARGETS)} under the repo root)")
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format written to stdout (default: text)")
+    parser.add_argument(
+        "--output", type=Path, default=None,
+        help="also write a JSON report to this file (what CI uploads "
+             "as an artifact)")
+    parser.add_argument(
+        "--rule", dest="rules", action="append", default=None,
+        metavar="RULE-ID",
+        help="run only the named rule (repeatable)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit")
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+    try:
+        result = lint_paths(args.targets or None, rule_ids=args.rules)
+    except KeyError as error:
+        print(f"repro-lint: {error.args[0]}", file=sys.stderr)
+        return 2
+
+    json_report = render_json(result.diagnostics,
+                              n_files=result.n_files,
+                              n_suppressed=result.n_suppressed)
+    if args.output is not None:
+        args.output.write_text(json_report, encoding="utf-8")
+    if args.format == "json":
+        print(json_report, end="")
+    else:
+        print(render_text(result.diagnostics, n_files=result.n_files,
+                          n_suppressed=result.n_suppressed))
+    return 0 if result.clean else 1

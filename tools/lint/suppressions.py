@@ -1,0 +1,102 @@
+"""``# repro-lint: disable=RULE`` suppression-comment parsing.
+
+Suppression grammar (comments, so :mod:`tokenize` recovers them --
+``ast`` drops them):
+
+* ``# repro-lint: disable=RULE[,RULE...][ -- justification]`` as a
+  *trailing* comment suppresses the named rules on that line.
+* The same comment on a line of its own suppresses the named rules on
+  the next line (for lines too long to carry a trailing comment).
+* ``# repro-lint: disable-file=RULE[,RULE...][ -- justification]``
+  anywhere in the file suppresses the named rules for the whole file.
+* ``all`` is accepted in place of a rule list and suppresses every
+  rule at that scope.
+
+The justification text after ``--`` is not parsed, but the project
+suppression policy (``docs/STATIC_ANALYSIS.md``) requires it: a
+suppression without a stated reason does not survive review.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+
+#: Matches one suppression comment; group 1 is the scope keyword,
+#: group 2 the comma-separated rule list.
+_PATTERN = re.compile(
+    r"#\s*repro-lint:\s*(disable|disable-file)\s*=\s*"
+    r"([A-Za-z0-9_,\s-]+?)(?:\s*--.*)?$")
+
+#: Sentinel rule name suppressing every rule at the comment's scope.
+ALL_RULES = "all"
+
+
+def _parse_rules(text: str) -> frozenset[str]:
+    return frozenset(part.strip().upper() if part.strip() != ALL_RULES
+                     else ALL_RULES
+                     for part in text.split(",") if part.strip())
+
+
+class Suppressions:
+    """The suppression state of one source file.
+
+    Query with :meth:`is_suppressed`; build with :func:`collect`.
+    """
+
+    def __init__(self, by_line: dict[int, frozenset[str]],
+                 file_wide: frozenset[str]):
+        self._by_line = by_line
+        self._file_wide = file_wide
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        """Whether ``rule_id`` is disabled at ``line`` (or file-wide)."""
+        if ALL_RULES in self._file_wide \
+                or rule_id in self._file_wide:
+            return True
+        rules = self._by_line.get(line, frozenset())
+        return ALL_RULES in rules or rule_id in rules
+
+    @property
+    def n_directives(self) -> int:
+        """How many suppression scopes this file declares (for
+        reporting)."""
+        return len(self._by_line) + (1 if self._file_wide else 0)
+
+
+def collect(source: str) -> Suppressions:
+    """Parse every suppression comment out of ``source``.
+
+    Tokenization errors (the file will fail ``ast.parse`` anyway and
+    be reported as unparsable) yield an empty suppression set rather
+    than raising.
+    """
+    by_line: dict[int, set[str]] = {}
+    file_wide: set[str] = set()
+    try:
+        tokens = list(tokenize.generate_tokens(
+            io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return Suppressions({}, frozenset())
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _PATTERN.search(token.string)
+        if match is None:
+            continue
+        rules = _parse_rules(match.group(2))
+        if not rules:
+            continue
+        if match.group(1) == "disable-file":
+            file_wide.update(rules)
+            continue
+        line = token.start[0]
+        # A comment-only line shields the *next* line; a trailing
+        # comment shields its own.
+        standalone = token.line.strip().startswith("#")
+        target = line + 1 if standalone else line
+        by_line.setdefault(target, set()).update(rules)
+    return Suppressions(
+        {line: frozenset(rules) for line, rules in by_line.items()},
+        frozenset(file_wide))

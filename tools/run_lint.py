@@ -1,0 +1,27 @@
+#!/usr/bin/env python
+"""repro-lint front door.
+
+The framework lives in the ``tools/lint`` package; this script only
+puts ``tools/`` on ``sys.path`` and dispatches, so it works from any
+working directory without installation::
+
+    python tools/run_lint.py                      # lint src tools benchmarks
+    python tools/run_lint.py --format json        # machine-readable report
+    python tools/run_lint.py --list-rules         # rule catalogue
+    python tools/run_lint.py src/repro/batch      # narrow the target
+
+See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and the
+suppression policy.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from lint.runner import main  # noqa: E402  (path bootstrap first)
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
