@@ -26,7 +26,13 @@ The scaling layer on top of :func:`repro.core.pipeline.compile_kernel`:
   :class:`JobServer` (the ``repro-agu job-serve`` subcommand) leases
   jobs to :class:`Worker` processes (``repro-agu worker``) on any
   number of hosts, and :class:`ClusterExecutor` is the matching
-  ``tcp://host:port`` execution backend.
+  ``tcp://host:port`` execution backend;
+* :mod:`repro.batch.serving` -- compile-as-a-service:
+  :class:`CompileService` (the ``repro-agu serve`` subcommand) answers
+  single-kernel compile requests over TCP -- admission-controlled,
+  micro-batched through the engine, fronted by a warm
+  :class:`TieredCache` -- and :class:`ServeClient` is the matching
+  pooled client.
 """
 
 from repro.batch.cache import (
@@ -35,6 +41,7 @@ from repro.batch.cache import (
     InMemoryLRUCache,
     JsonFileCache,
     ShardedDirectoryCache,
+    TieredCache,
     open_cache,
 )
 from repro.batch.digest import DIGEST_VERSION, job_digest
@@ -58,6 +65,13 @@ from repro.batch.engine import (
 )
 from repro.batch.cluster import ClusterExecutor, JobServer, Worker
 from repro.batch.service import CacheServer, RemoteCache
+from repro.batch.serving import (
+    CompileService,
+    ServeClient,
+    ServeResult,
+    ServeStats,
+    ServerBusyError,
+)
 from repro.batch.jobs import (
     BatchJob,
     ExperimentPointJob,
@@ -79,6 +93,7 @@ __all__ = [
     "CacheServer",
     "CacheStats",
     "ClusterExecutor",
+    "CompileService",
     "DIGEST_VERSION",
     "Executor",
     "ExperimentDefinition",
@@ -92,8 +107,13 @@ __all__ = [
     "JsonFileCache",
     "LocalPoolExecutor",
     "RemoteCache",
+    "ServeClient",
+    "ServeResult",
+    "ServeStats",
+    "ServerBusyError",
     "ShardedDirectoryCache",
     "StatisticalGridJob",
+    "TieredCache",
     "Worker",
     "execute_any",
     "experiment_point_jobs",

@@ -47,6 +47,7 @@ import json
 import os
 import re
 import tempfile
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -316,6 +317,130 @@ class ShardedDirectoryCache:
         """Store a batch; counts one store per entry via :meth:`put`."""
         for digest, payload in entries.items():
             self.put(digest, payload)
+
+
+class TieredCache:
+    """A warm in-process LRU tier in front of any other backend.
+
+    The serving front end's cache: hot digests are answered from a
+    process-local :class:`InMemoryLRUCache` without touching the
+    backing store at all (for a ``tcp://`` backend that means hot
+    kernels never touch the wire), while misses fall through to the
+    backend and *promote* -- a payload fetched once is warm from then
+    on.  Writes go to both tiers.  ``backend=None`` degrades to a
+    plain bounded LRU, which makes the tier usable as the serve
+    endpoint's default cache with no store configured.
+
+    Unlike the single-process backends, this one is thread-safe: the
+    warm tier and the stats sit behind one lock, backend access behind
+    another, so concurrent warm hits are never stuck behind one slow
+    backend round trip.  Backends without their own thread safety are
+    fine -- all backend calls are serialized.
+
+    Stats follow the uniform accounting: one hit or miss per ``get``
+    (a hit whichever tier answered), one store per entry written.  The
+    backend keeps its own counters, which is what lets callers tell
+    warm hits from backend hits (the difference never reaches the
+    backend's ``lookups``).
+    """
+
+    def __init__(self, backend: CacheBackend | None = None, *,
+                 capacity: int = 4096):
+        if isinstance(backend, TieredCache):
+            raise BatchError(
+                "a TieredCache cannot front another TieredCache")
+        self.backend = backend
+        self.stats = CacheStats()
+        self._warm = InMemoryLRUCache(capacity=capacity)
+        self._warm_lock = threading.RLock()
+        self._backend_lock = threading.RLock()
+
+    def __len__(self) -> int:
+        return len(self._warm)
+
+    def __repr__(self) -> str:
+        return (f"TieredCache(capacity={self._warm.capacity}, "
+                f"backend={self.backend!r})")
+
+    def get(self, digest: str) -> dict | None:
+        """The payload under ``digest``: warm tier first, then the
+        backend (promoting the payload into the warm tier on a hit)."""
+        with self._warm_lock:
+            payload = self._warm.get(digest)
+            if payload is not None:
+                self.stats.hits += 1
+                return payload
+        payload = None
+        if self.backend is not None:
+            with self._backend_lock:
+                payload = self.backend.get(digest)
+        with self._warm_lock:
+            if not isinstance(payload, dict):
+                self.stats.misses += 1
+                return None
+            self._warm.put(digest, payload)
+            self.stats.hits += 1
+        return payload
+
+    def get_many(self, digests) -> dict[str, dict]:
+        """Payloads for every cached digest: the warm tier answers
+        what it can, one batched backend fetch covers the rest (found
+        entries are promoted).  Counts one hit or miss per digest."""
+        digests = list(dict.fromkeys(digests))
+        found: dict[str, dict] = {}
+        missing: list[str] = []
+        with self._warm_lock:
+            for digest in digests:
+                payload = self._warm.get(digest)
+                if payload is not None:
+                    found[digest] = payload
+                else:
+                    missing.append(digest)
+        if missing and self.backend is not None:
+            with self._backend_lock:
+                get_many = getattr(self.backend, "get_many", None)
+                if get_many is not None:
+                    fetched = get_many(missing)
+                else:
+                    fetched = {digest: payload for digest in missing
+                               if (payload := self.backend.get(digest))
+                               is not None}
+            with self._warm_lock:
+                for digest, payload in fetched.items():
+                    if isinstance(payload, dict):
+                        self._warm.put(digest, payload)
+                        found[digest] = payload
+        with self._warm_lock:
+            self.stats.hits += len(found)
+            self.stats.misses += len(digests) - len(found)
+        return found
+
+    def put(self, digest: str, payload: dict) -> None:
+        """Store ``payload`` in both tiers."""
+        with self._warm_lock:
+            self._warm.put(digest, payload)
+            self.stats.stores += 1
+        if self.backend is not None:
+            with self._backend_lock:
+                self.backend.put(digest, payload)
+
+    def put_many(self, entries: dict[str, dict]) -> None:
+        """Store a batch in both tiers (one backend batch write when
+        the backend supports it); counts one store per entry."""
+        if not entries:
+            return
+        with self._warm_lock:
+            for digest, payload in entries.items():
+                self._warm.put(digest, payload)
+            self.stats.stores += len(entries)
+        if self.backend is not None:
+            with self._backend_lock:
+                put_many = getattr(self.backend, "put_many", None)
+                if put_many is not None:
+                    put_many(entries)
+                else:
+                    for digest, payload in entries.items():
+                        self.backend.put(digest, payload)
 
 
 #: The spec schemes :func:`open_cache` understands.  Matching is

@@ -177,6 +177,16 @@ class _JobRequestHandler(socketserver.BaseRequestHandler):
     def handle(self) -> None:
         server: JobServer = self.server.job_server  # type: ignore
         server.track_connection(self.request, alive=True)
+        if server.idle_timeout is not None:
+            # A stalled or half-open peer must not pin this thread
+            # forever.  For workers the recv gap spans one job's
+            # execution, so idle_timeout must be sized above the
+            # slowest job (a dropped slow worker costs duplicate
+            # compute via release_worker, never correctness).  Client
+            # result streams are exempt from the read side of this
+            # timeout (see watch_for_cancel); their stall detector is
+            # the heartbeat send.
+            self.request.settimeout(server.idle_timeout)
         try:
             try:
                 first = recv_frame(self.request)
@@ -245,7 +255,15 @@ class _JobRequestHandler(socketserver.BaseRequestHandler):
         def watch_for_cancel() -> None:
             try:
                 while True:
-                    frame = recv_frame(self.request)
+                    try:
+                        frame = recv_frame(self.request)
+                    except TimeoutError:
+                        # An idle *client* is healthy: it sends nothing
+                        # while results stream back, so the idle
+                        # timeout must not kill its batch.  A truly
+                        # dead client is caught by the heartbeat send
+                        # in _push_events filling the socket buffer.
+                        continue
                     if frame is None:
                         break
                     if frame.get("op") == "cancel":
@@ -317,6 +335,16 @@ class JobServer:
     heartbeat:
         Quiet-connection keepalive interval of the client result
         stream.
+    idle_timeout:
+        Seconds a connection may sit idle between frames before the
+        server closes it (``None`` disables the timeout).  Size it
+        above the slowest expected job *and* above ``lease_timeout``:
+        a worker is silent for the whole run of a job, and dropping a
+        slow-but-healthy worker costs duplicate compute (its leases
+        requeue on disconnect) though never correctness.  Client
+        result streams are not subject to the read timeout -- an idle
+        submitting client is normal; a dead one is detected when the
+        heartbeat send backs up.
 
     Run blocking with :meth:`serve_forever` (the CLI does) or on a
     background thread via :meth:`start` / the context-manager form
@@ -333,16 +361,22 @@ class JobServer:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  lease_timeout: float = 60.0, max_attempts: int = 3,
-                 heartbeat: float = 2.0):
+                 heartbeat: float = 2.0,
+                 idle_timeout: float | None = 600.0):
         if lease_timeout <= 0:
             raise BatchError(
                 f"lease_timeout must be > 0 seconds, got {lease_timeout}")
         if max_attempts < 1:
             raise BatchError(
                 f"max_attempts must be >= 1, got {max_attempts}")
+        if idle_timeout is not None and not idle_timeout > 0:
+            raise BatchError(
+                f"idle_timeout must be > 0 seconds or None, got "
+                f"{idle_timeout}")
         self.lease_timeout = float(lease_timeout)
         self.max_attempts = int(max_attempts)
         self.heartbeat = float(heartbeat)
+        self.idle_timeout = idle_timeout
         self.stats = ClusterStats()
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)

@@ -107,7 +107,8 @@ def parse_endpoint(text: str, options: dict | None = None,
         port = parts.port
     except ValueError as error:
         raise BatchError(
-            f"invalid endpoint spec {text!r} ({error}); {expected}")
+            f"invalid endpoint spec {text!r} ({error}); "
+            f"{expected}") from error
     if parts.scheme != "tcp" or port is None or parts.path \
             or parts.fragment or parts.username is not None:
         raise BatchError(
@@ -115,9 +116,10 @@ def parse_endpoint(text: str, options: dict | None = None,
     try:
         pairs = parse_qsl(parts.query, keep_blank_values=True,
                           strict_parsing=True) if parts.query else []
-    except ValueError:
+    except ValueError as error:
         raise BatchError(
-            f"invalid options in endpoint spec {text!r}; {expected}")
+            f"invalid options in endpoint spec {text!r}; "
+            f"{expected}") from error
     converted: dict = {}
     for key, value in pairs:
         convert = known.get(key)
@@ -127,9 +129,10 @@ def parse_endpoint(text: str, options: dict | None = None,
                 f"(known: {', '.join(sorted(known)) or 'none'})")
         try:
             converted[key] = convert(value)
-        except ValueError:
+        except ValueError as error:
             raise BatchError(
-                f"invalid value for {key!r} in endpoint spec {text!r}")
+                f"invalid value for {key!r} in endpoint spec "
+                f"{text!r}") from error
     return parts.hostname or "127.0.0.1", port, converted
 
 
@@ -178,7 +181,8 @@ def recv_frame(sock: socket.socket) -> dict | None:
     try:
         message = json.loads(body.decode("utf-8"))
     except ValueError as error:
-        raise BatchError(f"undecodable cache protocol frame: {error}")
+        raise BatchError(
+            f"undecodable cache protocol frame: {error}") from error
     if not isinstance(message, dict):
         raise BatchError(
             f"cache protocol frame must be a JSON object, got "
@@ -195,6 +199,14 @@ class _CacheRequestHandler(socketserver.BaseRequestHandler):
     def handle(self) -> None:
         server: CacheServer = self.server.cache_server  # type: ignore
         server.track_connection(self.request, alive=True)
+        if server.idle_timeout is not None:
+            # A stalled or half-open client must not pin this thread
+            # forever: the blocking recv below raises TimeoutError (an
+            # OSError) after idle_timeout seconds and the connection
+            # closes cleanly.  Well-behaved clients reconnect
+            # transparently (RemoteCache retries once on a fresh
+            # connection before degrading).
+            self.request.settimeout(server.idle_timeout)
         try:
             while True:
                 try:
@@ -255,6 +267,12 @@ class CacheServer:
         off the backing store's own corrupt-entry discard -- a
         read-only server must never write to its store, not even to
         clean up.
+    idle_timeout:
+        Seconds a connection may sit idle between frames before the
+        server closes it (``None`` disables the timeout).  Stalled or
+        half-open clients would otherwise pin a handler thread forever
+        and wedge graceful shutdown; well-behaved clients that went
+        quiet simply reconnect on their next request.
 
     Run blocking with :meth:`serve_forever` (the CLI does) or on a
     background thread via :meth:`start` / the context-manager form
@@ -262,12 +280,18 @@ class CacheServer:
     """
 
     def __init__(self, store, host: str = "127.0.0.1", port: int = 0, *,
-                 readonly: bool = False):
+                 readonly: bool = False,
+                 idle_timeout: float | None = 300.0):
         if isinstance(store, RemoteCache):
             raise BatchError(
                 "a cache server cannot front another remote cache")
+        if idle_timeout is not None and not idle_timeout > 0:
+            raise BatchError(
+                f"idle_timeout must be > 0 seconds or None, got "
+                f"{idle_timeout}")
         self.store = store
         self.readonly = readonly
+        self.idle_timeout = idle_timeout
         self._lock = threading.Lock()
         # A colon in the host is an IPv6 literal (e.g. "::1"), which
         # needs an AF_INET6 listening socket.

@@ -37,6 +37,11 @@ worker
     Serve a running job server: lease jobs, execute them with the
     standard engine contract, stream results back; any number of
     workers on any number of hosts may serve one server.
+serve
+    Run the compile-as-a-service front door: a persistent TCP endpoint
+    that answers single-kernel compile requests -- admission-controlled
+    and micro-batched through the batch engine, with a warm in-process
+    cache tier in front of any cache store and any executor backend.
 """
 
 from __future__ import annotations
@@ -284,7 +289,8 @@ def _cmd_cache_serve(args: argparse.Namespace) -> int:
     store = open_cache(args.store)
     try:
         server = CacheServer(store, args.host, args.port,
-                             readonly=args.readonly)
+                             readonly=args.readonly,
+                             idle_timeout=args.idle_timeout or None)
     except OSError as error:
         # Port in use, unresolvable host, privileged port, ...
         raise ReproError(
@@ -317,7 +323,8 @@ def _cmd_job_serve(args: argparse.Namespace) -> int:
     try:
         server = JobServer(args.host, args.port,
                            lease_timeout=args.lease_timeout,
-                           max_attempts=args.max_attempts)
+                           max_attempts=args.max_attempts,
+                           idle_timeout=args.idle_timeout or None)
     except OSError as error:
         # Port in use, unresolvable host, privileged port, ...
         raise ReproError(
@@ -340,6 +347,46 @@ def _cmd_job_serve(args: argparse.Namespace) -> int:
         signal.signal(signal.SIGTERM, previous)
         server.shutdown()
         print(f"job server stopped; {server.stats}", flush=True)
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the compile-as-a-service front door."""
+    import signal
+
+    from repro.batch.serving import CompileService
+
+    try:
+        service = CompileService(
+            args.cache, host=args.host, port=args.port,
+            executor=_executor_from_args(args), n_workers=args.workers,
+            batch_window=args.batch_window, max_batch=args.max_batch,
+            max_pending=args.max_pending,
+            warm_capacity=args.warm_capacity,
+            idle_timeout=args.idle_timeout or None)
+    except OSError as error:
+        # Port in use, unresolvable host, privileged port, ...
+        raise ReproError(
+            f"cannot serve on tcp://{args.host}:{args.port}: {error}")
+    print(f"compile service at {service.endpoint} "
+          f"(window {1000 * args.batch_window:.0f} ms, "
+          f"max {args.max_pending} in flight); connect with "
+          f"ServeClient({service.endpoint!r}); stop with "
+          f"SIGINT/SIGTERM", flush=True)
+
+    def terminate(signum, frame):
+        raise KeyboardInterrupt
+
+    previous = signal.signal(signal.SIGTERM, terminate)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        signal.signal(signal.SIGTERM, previous)
+        service.shutdown()
+        print(f"compile service stopped; {service.stats}; cache: "
+              f"{service.cache.stats}", flush=True)
     return 0
 
 
@@ -763,6 +810,10 @@ def build_parser() -> argparse.ArgumentParser:
                               help="serve cache hits but reject stores "
                                    "(clients keep working and skip "
                                    "their puts)")
+    serve_parser.add_argument("--idle-timeout", type=float, default=300.0,
+                              help="seconds an idle connection may sit "
+                                   "between requests before the server "
+                                   "closes it (default 300; 0 disables)")
     serve_parser.set_defaults(func=_cmd_cache_serve)
 
     job_serve_parser = commands.add_parser(
@@ -786,6 +837,14 @@ def build_parser() -> argparse.ArgumentParser:
                                   help="leases per job before the "
                                        "server gives up on it "
                                        "(default 3)")
+    job_serve_parser.add_argument("--idle-timeout", type=float,
+                                  default=600.0,
+                                  help="seconds an idle connection may "
+                                       "sit between frames before the "
+                                       "server closes it (default 600; "
+                                       "0 disables; size above the "
+                                       "slowest job and the lease "
+                                       "timeout)")
     job_serve_parser.set_defaults(func=_cmd_job_serve)
 
     worker_parser = commands.add_parser(
@@ -814,6 +873,47 @@ def build_parser() -> argparse.ArgumentParser:
     worker_parser.add_argument("--quiet", action="store_true",
                                help="suppress per-job log lines")
     worker_parser.set_defaults(func=_cmd_worker)
+
+    compile_serve_parser = commands.add_parser(
+        "serve", help="serve single-kernel compile requests over TCP "
+                      "(compile-as-a-service front door)")
+    compile_serve_parser.add_argument(
+        "--cache", default=None,
+        help="result store behind the warm tier: PATH.json, a "
+             "directory, or tcp://HOST:PORT (a running cache-serve); "
+             "default: warm in-process LRU only")
+    compile_serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1; use 0.0.0.0 to serve "
+             "other hosts)")
+    compile_serve_parser.add_argument(
+        "--port", type=int, default=8743,
+        help="TCP port (default 8743; 0 picks an ephemeral port, "
+             "printed on startup)")
+    compile_serve_parser.add_argument(
+        "-j", "--workers", type=int, default=1,
+        help="process-pool width for cache misses (default 1: "
+             "compile inline)")
+    _add_executor_argument(compile_serve_parser)
+    compile_serve_parser.add_argument(
+        "--batch-window", type=float, default=0.005,
+        help="seconds to wait for concurrent requests to coalesce "
+             "into one engine batch (default 0.005)")
+    compile_serve_parser.add_argument(
+        "--max-batch", type=int, default=16,
+        help="requests per micro-batch at most (default 16)")
+    compile_serve_parser.add_argument(
+        "--max-pending", type=int, default=64,
+        help="bound of the in-flight queue; further requests get an "
+             "explicit busy rejection (default 64)")
+    compile_serve_parser.add_argument(
+        "--warm-capacity", type=int, default=4096,
+        help="entries in the warm in-process cache tier (default 4096)")
+    compile_serve_parser.add_argument(
+        "--idle-timeout", type=float, default=300.0,
+        help="seconds an idle connection may sit between requests "
+             "before the server closes it (default 300; 0 disables)")
+    compile_serve_parser.set_defaults(func=_cmd_serve)
 
     verify_parser = commands.add_parser(
         "verify", help="compile a kernel and fail on any audit mismatch")

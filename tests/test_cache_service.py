@@ -7,6 +7,7 @@ import logging
 import pickle
 import random
 import socket
+import time
 
 import pytest
 
@@ -20,6 +21,7 @@ from repro.batch.cache import (
     InMemoryLRUCache,
     JsonFileCache,
     ShardedDirectoryCache,
+    TieredCache,
     open_cache,
 )
 from repro.batch.engine import BatchCompiler
@@ -93,6 +95,100 @@ class TestFraming:
             left.sendall(len(body).to_bytes(4, "big") + body)
             with pytest.raises(BatchError, match="JSON object"):
                 recv_frame(right)
+
+    def test_undecodable_frame_chains_the_decode_error(self):
+        """The protocol error must carry the JSON decoder's error as
+        its ``__cause__`` -- ``raise ... from`` at the raise site --
+        so tracebacks show *why* the frame was undecodable."""
+        left, right = socket.socketpair()
+        with left, right:
+            body = b"{not json"
+            left.sendall(len(body).to_bytes(4, "big") + body)
+            with pytest.raises(BatchError, match="undecodable") \
+                    as caught:
+                recv_frame(right)
+        assert isinstance(caught.value.__cause__, ValueError)
+
+    def test_invalid_endpoint_specs_chain_their_causes(self):
+        from repro.batch.service import parse_endpoint
+
+        with pytest.raises(BatchError, match="invalid endpoint") \
+                as bad_port:
+            parse_endpoint("tcp://127.0.0.1:not-a-port")
+        assert isinstance(bad_port.value.__cause__, ValueError)
+        with pytest.raises(BatchError, match="invalid options") \
+                as bad_query:
+            parse_endpoint("tcp://127.0.0.1:80?dangling",
+                           {"timeout": float})
+        assert isinstance(bad_query.value.__cause__, ValueError)
+        with pytest.raises(BatchError, match="invalid value") \
+                as bad_value:
+            parse_endpoint("tcp://127.0.0.1:80?timeout=soon",
+                           {"timeout": float})
+        assert isinstance(bad_value.value.__cause__, ValueError)
+
+
+class TestServerSideFraming:
+    """The server's half of the framing contract: a peer that stops
+    speaking the protocol gets its connection closed; a response that
+    cannot be framed gets an error frame, not a dropped connection."""
+
+    def test_oversized_announce_closes_the_connection(self, server):
+        with socket.create_connection(server.address, timeout=5) as sock:
+            sock.sendall((MAX_FRAME_BYTES + 1).to_bytes(4, "big"))
+            sock.settimeout(5.0)
+            assert sock.recv(1) == b""  # server-side close
+        # ...and the server is still serving fresh connections:
+        assert RemoteCache(*server.address).ping()
+
+    def test_eof_mid_frame_closes_the_connection(self, server):
+        with socket.create_connection(server.address, timeout=5) as sock:
+            sock.sendall(b"\x00\x00\x00\xff{")  # announces 255 bytes
+            sock.shutdown(socket.SHUT_WR)
+            sock.settimeout(5.0)
+            assert sock.recv(1) == b""
+        assert RemoteCache(*server.address).ping()
+
+    def test_oversized_get_many_response_answers_an_error_frame(
+            self, server, client, monkeypatch):
+        """A ``get_many`` whose combined payloads outgrow a frame is
+        answered with an error frame on the live connection (the
+        client serves it as misses); it must not kill the handler."""
+        import repro.batch.service as service_module
+
+        client.put_many({"fat-1": {"v": "x" * 200},
+                         "fat-2": {"v": "y" * 200}})
+        with socket.create_connection(server.address, timeout=5) as sock:
+            with monkeypatch.context() as patch:
+                patch.setattr(service_module, "MAX_FRAME_BYTES", 300)
+                send_frame(sock, {"op": "get_many",
+                                  "digests": ["fat-1", "fat-2"]})
+                answer = recv_frame(sock)
+                assert answer["ok"] is False
+                assert "exceeds" in answer["error"]
+            # Same connection, framing restored: still being served.
+            send_frame(sock, {"op": "ping"})
+            assert recv_frame(sock)["ok"] is True
+
+    def test_idle_connection_is_closed_after_the_timeout(self):
+        with CacheServer(InMemoryLRUCache(), idle_timeout=0.2) as server:
+            with socket.create_connection(server.address,
+                                          timeout=5) as sock:
+                send_frame(sock, {"op": "ping"})
+                assert recv_frame(sock)["ok"] is True
+                sock.settimeout(5.0)
+                assert sock.recv(1) == b""  # idle past the timeout
+            # The reconnect-once client rides out an idle close.
+            remote = RemoteCache(*server.address)
+            remote.put("k", {"v": 1})
+            time.sleep(0.3)  # server closes the idle connection
+            assert remote.get("k") == {"v": 1}
+            assert remote._down_since is None  # never degraded
+
+    def test_rejects_invalid_idle_timeouts(self):
+        for bad in (0, -1.0):
+            with pytest.raises(BatchError, match="idle_timeout"):
+                CacheServer(InMemoryLRUCache(), idle_timeout=bad)
 
 
 class TestServerProtocol:
@@ -527,6 +623,14 @@ class TestStatsInvariants:
     @pytest.mark.parametrize("seed", [0, 1, 2])
     def test_sharded_directory(self, tmp_path, seed):
         self.exercise(ShardedDirectoryCache(tmp_path / "store"), seed)
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_tiered(self, seed):
+        self.exercise(TieredCache(InMemoryLRUCache()), seed)
+
+    @pytest.mark.parametrize("seed", [0, 1])
+    def test_tiered_without_a_backend(self, seed):
+        self.exercise(TieredCache(), seed)
 
     @pytest.mark.parametrize("seed", [0, 1])
     def test_remote(self, server, seed):

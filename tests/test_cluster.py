@@ -227,6 +227,24 @@ class TestProtocol:
             JobServer(lease_timeout=0)
         with pytest.raises(BatchError):
             JobServer(max_attempts=0)
+        with pytest.raises(BatchError):
+            JobServer(idle_timeout=0)
+
+    def test_idle_connection_is_closed_after_the_timeout(self):
+        """A connection that never speaks (a stalled or half-open
+        peer) is dropped after idle_timeout instead of pinning its
+        handler thread for the life of the server."""
+        with thread_fleet(n_workers=1, idle_timeout=0.2) as server:
+            with socket.create_connection(server.address,
+                                          timeout=5) as sock:
+                sock.settimeout(5.0)
+                assert sock.recv(1) == b""  # server-side close
+            # Healthy workers poll well inside the timeout: the fleet
+            # still executes batches while stalled peers are dropped.
+            report = BatchCompiler(
+                executor=ClusterExecutor(*server.address)).compile(
+                [TinyJob("idle-check", 1)])
+            assert report.n_jobs == 1
 
 
 class TestClusterExecution:

@@ -37,9 +37,11 @@ from typing import Any
 #: Version of the trajectory record layout; bump on breaking changes.
 TRAJECTORY_SCHEMA = 1
 
-#: The default bench selection: the solver hot-path micro-suite plus
-#: the cold EXP-S1 grid (the end-to-end number the solvers feed).
-DEFAULT_SELECTION = "solver or stats_grid_cold"
+#: The default bench selection: the solver hot-path micro-suite, the
+#: cold EXP-S1 grid (the end-to-end number the solvers feed), and the
+#: compile-service latency benches (whose p50/p95/p99 SLO numbers ride
+#: along in ``extra_info``).
+DEFAULT_SELECTION = "solver or stats_grid_cold or bench_serve"
 
 #: The bench module every trajectory run executes.
 BENCH_FILE = "benchmarks/bench_perf_scaling.py"
@@ -118,16 +120,21 @@ def entries_from_pytest_benchmark(data: dict) -> dict[str, dict]:
     One entry per bench, keyed by the parametrized bench name; wall
     times are seconds.  ``seconds`` (the per-round minimum) is what the
     regression gate compares -- it is the most machine-noise-resistant
-    single number pytest-benchmark reports.
+    single number pytest-benchmark reports.  A bench's ``extra_info``
+    (e.g. the serve SLO's p50/p95/p99 milliseconds) is carried through
+    verbatim so the committed trajectory archives it.
     """
     entries: dict[str, dict] = {}
     for bench in data["benchmarks"]:
         stats = bench["stats"]
-        entries[bench["name"]] = {
+        entry = {
             "seconds": stats["min"],
             "mean_seconds": stats["mean"],
             "rounds": stats["rounds"],
         }
+        if bench.get("extra_info"):
+            entry["extra_info"] = bench["extra_info"]
+        entries[bench["name"]] = entry
     return dict(sorted(entries.items()))
 
 
