@@ -24,7 +24,12 @@ from lint.reporters import (  # noqa: E402
     render_json,
     render_text,
 )
-from lint.runner import PARSE_ERROR, lint_paths, lint_source  # noqa: E402
+from lint.runner import (  # noqa: E402
+    PARSE_ERROR,
+    lint_paths,
+    lint_source,
+    lint_sources,
+)
 
 #: The relpath that triggers the strict broad-except tier.
 ENGINE_PATH = "src/repro/batch/engine.py"
@@ -372,6 +377,369 @@ class TestLockDiscipline:
         assert result.clean
 
 
+class TestLockSelfDeadlock:
+    """The inter-procedural half of LOCK-DISCIPLINE: calls that
+    re-enter a held non-reentrant lock, found without running code."""
+
+    def test_reentrant_call_under_held_lock_is_flagged(self):
+        result = lint_source(
+            LOCKED_CLASS_HEADER +
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self._count += 1\n"
+            "    def bump_twice(self):\n"
+            "        with self._lock:\n"
+            "            self._count += 2\n"
+            "            self.bump()\n",
+            rule_ids=["LOCK-DISCIPLINE"])
+        assert rule_ids(result) == ["LOCK-DISCIPLINE"]
+        assert "deadlocks the thread" in result.diagnostics[0].message
+
+    def test_transitive_reentry_is_followed_through_helpers(self):
+        result = lint_source(
+            LOCKED_CLASS_HEADER +
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self._count += 1\n"
+            "    def relay(self):\n"
+            "        self.bump()\n"
+            "    def outer(self):\n"
+            "        with self._lock:\n"
+            "            self._count += 2\n"
+            "            self.relay()\n",
+            rule_ids=["LOCK-DISCIPLINE"])
+        assert rule_ids(result) == ["LOCK-DISCIPLINE"]
+        assert "calls into" in result.diagnostics[0].message
+
+    def test_rlock_reentry_is_clean(self):
+        result = lint_source(
+            "import threading\n"
+            "class Server:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.RLock()\n"
+            "        self._count = 0\n"
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self._count += 1\n"
+            "    def bump_twice(self):\n"
+            "        with self._lock:\n"
+            "            self._count += 2\n"
+            "            self.bump()\n",
+            rule_ids=["LOCK-DISCIPLINE"])
+        assert result.clean
+
+    def test_locked_variant_call_is_clean(self):
+        result = lint_source(
+            LOCKED_CLASS_HEADER +
+            "    def bump(self):\n"
+            "        with self._lock:\n"
+            "            self._bump_locked()\n"
+            "    def bump_twice(self):\n"
+            "        with self._lock:\n"
+            "            self._bump_locked()\n"
+            "            self._bump_locked()\n"
+            "    def _bump_locked(self):\n"
+            "        self._count += 1\n",
+            rule_ids=["LOCK-DISCIPLINE"])
+        assert result.clean
+
+
+# ----------------------------------------------------------------------
+# LOCK-ORDER
+# ----------------------------------------------------------------------
+class TestLockOrder:
+    """Cycles in the global acquisition-order graph -- seeded-deadlock
+    fixtures must be detected statically, without executing anything."""
+
+    def test_inverted_pair_in_one_class_is_flagged(self):
+        result = lint_source(
+            "import threading\n"
+            "class Broker:\n"
+            "    def __init__(self):\n"
+            "        self._jobs = threading.Lock()\n"
+            "        self._stats = threading.Lock()\n"
+            "    def submit(self):\n"
+            "        with self._jobs:\n"
+            "            with self._stats:\n"
+            "                pass\n"
+            "    def report(self):\n"
+            "        with self._stats:\n"
+            "            with self._jobs:\n"
+            "                pass\n",
+            rule_ids=["LOCK-ORDER"])
+        assert rule_ids(result) == ["LOCK-ORDER"]
+        message = result.diagnostics[0].message
+        assert "lock-order cycle" in message
+        assert "Broker._jobs" in message and "Broker._stats" in message
+
+    def test_cross_module_cycle_through_calls_is_flagged(self):
+        # The cycle only exists in the composition: Engine.flush takes
+        # Engine._lock then (via Store.save) Store._lock, while
+        # Store.sync takes Store._lock then (via Engine.flush)
+        # Engine._lock.  Neither file is suspicious alone.
+        result = lint_sources({
+            "src/proj/engine.py":
+                "import threading\n"
+                "from proj.store import Store\n"
+                "class Engine:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._store = Store()\n"
+                "    def flush(self):\n"
+                "        with self._lock:\n"
+                "            self._store.save()\n",
+            "src/proj/store.py":
+                "import threading\n"
+                "from proj.engine import Engine\n"
+                "class Store:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._engine = Engine()\n"
+                "    def save(self):\n"
+                "        with self._lock:\n"
+                "            pass\n"
+                "    def sync(self):\n"
+                "        with self._lock:\n"
+                "            self._engine.flush()\n",
+        }, rule_ids=["LOCK-ORDER"])
+        assert "LOCK-ORDER" in rule_ids(result)
+        message = result.diagnostics[0].message
+        assert "Engine._lock" in message and "Store._lock" in message
+        assert "witnesses:" in message
+
+    def test_consistent_global_order_is_clean(self):
+        result = lint_source(
+            "import threading\n"
+            "class Broker:\n"
+            "    def __init__(self):\n"
+            "        self._jobs = threading.Lock()\n"
+            "        self._stats = threading.Lock()\n"
+            "    def submit(self):\n"
+            "        with self._jobs:\n"
+            "            with self._stats:\n"
+            "                pass\n"
+            "    def report(self):\n"
+            "        with self._jobs:\n"
+            "            with self._stats:\n"
+            "                pass\n",
+            rule_ids=["LOCK-ORDER"])
+        assert result.clean
+
+    def test_one_directional_cross_module_calls_are_clean(self):
+        result = lint_sources({
+            "src/proj/engine.py":
+                "import threading\n"
+                "from proj.store import Store\n"
+                "class Engine:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._store = Store()\n"
+                "    def flush(self):\n"
+                "        with self._lock:\n"
+                "            self._store.save()\n",
+            "src/proj/store.py":
+                "import threading\n"
+                "class Store:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "    def save(self):\n"
+                "        with self._lock:\n"
+                "            pass\n",
+        }, rule_ids=["LOCK-ORDER"])
+        assert result.clean
+
+
+# ----------------------------------------------------------------------
+# WIRE-PROTOCOL
+# ----------------------------------------------------------------------
+SERVER_FIXTURE = (
+    "class Server:\n"
+    "    def handle_request(self, request):\n"
+    "        op = request.get('op')\n"
+    "        if op == 'ping':\n"
+    "            return {'ok': True, 'server': 'fixture'}\n"
+    "        if op == 'get':\n"
+    "            digest = request.get('digest')\n"
+    "            return {'ok': True, 'payload': digest}\n"
+    "        return {'ok': False, 'error': 'unknown op'}\n"
+)
+
+
+class TestWireProtocol:
+    def test_op_without_handler_is_flagged(self):
+        result = lint_sources({
+            "src/proj/server.py": SERVER_FIXTURE,
+            "src/proj/client.py":
+                "class Client:\n"
+                "    def evict(self):\n"
+                "        response = self._request({'op': 'evict'})\n"
+                "        return response['ok']\n",
+        }, rule_ids=["WIRE-PROTOCOL"])
+        assert rule_ids(result) == ["WIRE-PROTOCOL"]
+        assert "sends op 'evict'" in result.diagnostics[0].message
+        assert result.diagnostics[0].path == "src/proj/client.py"
+
+    def test_conforming_client_server_pair_is_clean(self):
+        result = lint_sources({
+            "src/proj/server.py": SERVER_FIXTURE,
+            "src/proj/client.py":
+                "class Client:\n"
+                "    def ping(self):\n"
+                "        response = self._request({'op': 'ping'})\n"
+                "        return response['ok']\n"
+                "    def get(self, digest):\n"
+                "        response = self._request(\n"
+                "            {'op': 'get', 'digest': digest})\n"
+                "        return response.get('payload')\n",
+        }, rule_ids=["WIRE-PROTOCOL"])
+        assert result.clean
+
+    def test_handler_field_no_sender_attaches_is_flagged(self):
+        result = lint_sources({
+            "src/proj/server.py":
+                "class Server:\n"
+                "    def handle_request(self, request):\n"
+                "        op = request.get('op')\n"
+                "        if op == 'put':\n"
+                "            digest = request.get('digest')\n"
+                "            payload = request.get('payload')\n"
+                "            return {'ok': True}\n"
+                "        return {'ok': False, 'error': 'unknown op'}\n",
+            "src/proj/client.py":
+                "class Client:\n"
+                "    def put(self, digest):\n"
+                "        response = self._request(\n"
+                "            {'op': 'put', 'digest': digest})\n"
+                "        return response['ok']\n",
+        }, rule_ids=["WIRE-PROTOCOL"])
+        assert rule_ids(result) == ["WIRE-PROTOCOL"]
+        assert "reads request field 'payload'" \
+            in result.diagnostics[0].message
+
+    def test_response_field_never_answered_is_flagged(self):
+        result = lint_sources({
+            "src/proj/server.py": SERVER_FIXTURE,
+            "src/proj/client.py":
+                "class Client:\n"
+                "    def ping(self):\n"
+                "        response = self._request({'op': 'ping'})\n"
+                "        return response['uptime']\n",
+        }, rule_ids=["WIRE-PROTOCOL"])
+        assert rule_ids(result) == ["WIRE-PROTOCOL"]
+        assert "response field 'uptime'" \
+            in result.diagnostics[0].message
+
+    def test_envelope_fields_are_always_readable(self):
+        # The handler loops synthesize {"ok": false, "error": ...}
+        # frames, so reading `error` is fine even though no 'ping'
+        # branch literal spells it out.
+        result = lint_sources({
+            "src/proj/server.py": SERVER_FIXTURE,
+            "src/proj/client.py":
+                "class Client:\n"
+                "    def ping(self):\n"
+                "        response = self._request({'op': 'ping'})\n"
+                "        if not response['ok']:\n"
+                "            raise RuntimeError(response['error'])\n"
+                "        return response['server']\n",
+        }, rule_ids=["WIRE-PROTOCOL"])
+        assert result.clean
+
+    def test_response_literal_without_ok_is_flagged(self):
+        result = lint_source(
+            "def handle_request(request):\n"
+            "    op = request.get('op')\n"
+            "    if op == 'stats':\n"
+            "        return {'requests': 7}\n"
+            "    return {'ok': False, 'error': 'unknown op'}\n",
+            relpath="src/proj/server.py",
+            rule_ids=["WIRE-PROTOCOL"])
+        assert rule_ids(result) == ["WIRE-PROTOCOL"]
+        assert "no 'ok' field" in result.diagnostics[0].message
+
+    def test_rejection_without_error_is_flagged(self):
+        result = lint_source(
+            "def handle_request(request):\n"
+            "    op = request.get('op')\n"
+            "    if op == 'get':\n"
+            "        if request.get('digest') is None:\n"
+            "            return {'ok': False}\n"
+            "        return {'ok': True, 'payload': 'x'}\n"
+            "    return {'ok': False, 'error': 'unknown op'}\n",
+            relpath="src/proj/server.py",
+            rule_ids=["WIRE-PROTOCOL"])
+        assert rule_ids(result) == ["WIRE-PROTOCOL"]
+        assert "no 'error' field" in result.diagnostics[0].message
+
+    def test_event_kind_mismatches_are_flagged(self):
+        # 'progress' is dispatched on but never produced; 'heartbeat'
+        # is produced but never consumed.
+        result = lint_sources({
+            "src/proj/push.py":
+                "def push(sock, index):\n"
+                "    send_frame(sock, {'event': 'result',\n"
+                "                      'index': index})\n"
+                "    send_frame(sock, {'event': 'heartbeat'})\n",
+            "src/proj/pull.py":
+                "def pull(frames):\n"
+                "    for event in frames:\n"
+                "        kind = event.get('event')\n"
+                "        if kind == 'result':\n"
+                "            yield event['index']\n"
+                "        if kind == 'progress':\n"
+                "            continue\n",
+        }, rule_ids=["WIRE-PROTOCOL"])
+        messages = [diag.message for diag in result.diagnostics]
+        assert any("event kind 'progress'" in message
+                   for message in messages)
+        assert any("event kind 'heartbeat'" in message
+                   for message in messages)
+
+    def test_event_field_never_sent_is_flagged(self):
+        result = lint_sources({
+            "src/proj/push.py":
+                "def push(sock, index):\n"
+                "    send_frame(sock, {'event': 'result',\n"
+                "                      'index': index})\n",
+            "src/proj/pull.py":
+                "def pull(frames):\n"
+                "    for event in frames:\n"
+                "        kind = event.get('event')\n"
+                "        if kind == 'result':\n"
+                "            yield event['value']\n",
+        }, rule_ids=["WIRE-PROTOCOL"])
+        assert rule_ids(result) == ["WIRE-PROTOCOL"]
+        assert "reads field 'value' of event kind 'result'" \
+            in result.diagnostics[0].message
+
+    def test_matched_event_stream_is_clean(self):
+        result = lint_sources({
+            "src/proj/push.py":
+                "def push(sock, index):\n"
+                "    send_frame(sock, {'event': 'result',\n"
+                "                      'index': index})\n",
+            "src/proj/pull.py":
+                "def pull(frames):\n"
+                "    for event in frames:\n"
+                "        kind = event.get('event')\n"
+                "        if kind == 'result':\n"
+                "            yield event['index']\n",
+        }, rule_ids=["WIRE-PROTOCOL"])
+        assert result.clean
+
+    def test_dynamic_op_disables_only_that_check(self):
+        # The op value is a parameter: the site is unmatchable, so the
+        # unhandled-op check must stay silent rather than guess.
+        result = lint_sources({
+            "src/proj/server.py": SERVER_FIXTURE,
+            "src/proj/client.py":
+                "class Client:\n"
+                "    def call(self, op):\n"
+                "        return self._request({'op': op})\n",
+        }, rule_ids=["WIRE-PROTOCOL"])
+        assert result.clean
+
+
 # ----------------------------------------------------------------------
 # DOCSTRING-PUBLIC
 # ----------------------------------------------------------------------
@@ -482,13 +850,32 @@ class TestReporters:
     def test_json_report_round_trips(self):
         result = self._result()
         report = render_json(result.diagnostics, n_files=result.n_files,
-                             n_suppressed=result.n_suppressed)
+                             n_suppressed=result.n_suppressed,
+                             suppressed_by_rule=result.suppressed_by_rule)
         parsed = parse_json_report(report)
         assert parsed == result.diagnostics
         payload = json.loads(report)
         assert payload["tool"] == "repro-lint"
+        assert payload["schema"] == 2
         assert payload["files_checked"] == 1
+        assert payload["suppressed_by_rule"] == {}
         assert payload["diagnostics"][0]["rule_id"] == "IO-ENCODING"
+
+    def test_per_rule_suppression_counts_reach_the_report(self):
+        result = lint_source(
+            "from pathlib import Path\n"
+            "a = Path('x.json').read_text()"
+            "  # repro-lint: disable=IO-ENCODING -- fixture\n"
+            "b = Path('y.json').read_text()"
+            "  # repro-lint: disable=IO-ENCODING -- fixture\n",
+            rule_ids=["IO-ENCODING"])
+        assert result.suppressed_by_rule == {"IO-ENCODING": 2}
+        payload = json.loads(render_json(
+            result.diagnostics, n_files=result.n_files,
+            n_suppressed=result.n_suppressed,
+            suppressed_by_rule=result.suppressed_by_rule))
+        assert payload["suppressed"] == 2
+        assert payload["suppressed_by_rule"] == {"IO-ENCODING": 2}
 
     def test_schema_mismatch_is_rejected(self):
         report = json.dumps({"schema": 999, "diagnostics": []})
@@ -510,6 +897,47 @@ class TestReporters:
 
 
 # ----------------------------------------------------------------------
+# Rule selection (--select / --rule)
+# ----------------------------------------------------------------------
+class TestRuleSelection:
+    TARGET = str(ROOT / "tools" / "run_lint.py")
+
+    def _run(self, *argv):
+        return subprocess.run(
+            [sys.executable, str(ROOT / "tools" / "run_lint.py"),
+             *argv], capture_output=True, text=True, timeout=300)
+
+    def test_select_runs_only_named_rules(self):
+        completed = self._run("--select", "IO-ENCODING,BROAD-EXCEPT",
+                              "--format", "json", self.TARGET)
+        assert completed.returncode == 0, completed.stderr
+        payload = json.loads(completed.stdout)
+        assert payload["files_checked"] == 1
+        assert payload["diagnostics"] == []
+
+    def test_unknown_rule_id_exits_two_without_scanning(self):
+        completed = self._run("--select", "NO-SUCH-RULE", self.TARGET)
+        assert completed.returncode == 2
+        assert "NO-SUCH-RULE" in completed.stderr
+        assert completed.stdout == ""
+
+    def test_unknown_rule_via_rule_flag_also_exits_two(self):
+        completed = self._run("--rule", "NO-SUCH-RULE", self.TARGET)
+        assert completed.returncode == 2
+
+    def test_select_and_rule_flags_combine(self):
+        result = lint_source(
+            "from pathlib import Path\n"
+            "try:\n"
+            "    text = Path('x.json').read_text()\n"
+            "except:\n"
+            "    text = ''\n",
+            rule_ids=["IO-ENCODING", "BROAD-EXCEPT"])
+        assert sorted(rule_ids(result)) == \
+            ["BROAD-EXCEPT", "IO-ENCODING"]
+
+
+# ----------------------------------------------------------------------
 # The repository itself
 # ----------------------------------------------------------------------
 class TestRepositoryIsClean:
@@ -519,6 +947,13 @@ class TestRepositoryIsClean:
             f"{diag.location()}: {diag.rule_id} {diag.message}"
             for diag in result.diagnostics)
         assert result.n_files > 50
+
+    def test_examples_are_in_the_default_surface(self):
+        result = lint_paths(["examples"])
+        assert result.clean, "\n".join(
+            f"{diag.location()}: {diag.rule_id} {diag.message}"
+            for diag in result.diagnostics)
+        assert result.n_files > 0
 
     def test_cli_front_door_exits_zero(self):
         completed = subprocess.run(

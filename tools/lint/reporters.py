@@ -14,7 +14,9 @@ import json
 from lint.diagnostics import Diagnostic
 
 #: Schema version of the JSON report; bump on breaking layout changes.
-REPORT_SCHEMA = 1
+#: Schema 2 (PR 9) added ``suppressed_by_rule`` so CI artifacts show
+#: which rules are being silenced, not just how often.
+REPORT_SCHEMA = 2
 
 
 def render_text(diagnostics: list[Diagnostic], *, n_files: int,
@@ -32,7 +34,9 @@ def render_text(diagnostics: list[Diagnostic], *, n_files: int,
 
 
 def render_json(diagnostics: list[Diagnostic], *, n_files: int,
-                n_suppressed: int) -> str:
+                n_suppressed: int,
+                suppressed_by_rule: dict[str, int] | None = None,
+                ) -> str:
     """The machine-readable report (stable key order, trailing
     newline -- diff- and artifact-friendly)."""
     payload = {
@@ -40,6 +44,8 @@ def render_json(diagnostics: list[Diagnostic], *, n_files: int,
         "tool": "repro-lint",
         "files_checked": n_files,
         "suppressed": n_suppressed,
+        "suppressed_by_rule": dict(sorted(
+            (suppressed_by_rule or {}).items())),
         "diagnostics": [diag.to_json() for diag in diagnostics],
     }
     return json.dumps(payload, indent=1, sort_keys=True) + "\n"

@@ -10,7 +10,9 @@ from lint.rules import (  # noqa: F401  (import-for-effect registration)
     docstrings,
     encodings,
     excepts,
+    lockorder,
     locks,
     picklability,
     sockets,
+    wireprotocol,
 )

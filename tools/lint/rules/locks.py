@@ -26,16 +26,25 @@ instead, being ordinary accesses); ``__init__`` / ``__getstate__`` /
 shared and are exempt.  The pass is lexical, so a helper that is only
 ever called under the lock must either follow the ``_locked`` naming
 convention or carry a justified suppression.
+
+The rule is a :class:`~lint.registry.ProjectRule` since PR 9: on top
+of the per-class pass above, it consults the shared
+:mod:`lint.project` call-graph model to flag *self-deadlocks* -- a
+call made while holding a non-reentrant ``threading.Lock`` into a
+method that (directly or transitively) re-acquires that same lock.
+``RLock`` and bare ``Condition()`` attributes are reentrant and
+exempt; ``Condition(self._lock)`` aliases follow the lock they wrap.
 """
 
 from __future__ import annotations
 
 import ast
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Sequence
 
 from lint.asthelpers import call_name, self_attribute
 from lint.diagnostics import Diagnostic
-from lint.registry import Module, Rule, register
+from lint.project import project_model
+from lint.registry import Module, ProjectRule, register
 
 #: Call spellings that construct a mutual-exclusion primitive.
 _LOCK_FACTORIES = {"threading.Lock", "threading.RLock",
@@ -141,22 +150,52 @@ class _LockScopeVisitor(ast.NodeVisitor):
 
 
 @register
-class LockDisciplineRule(Rule):
+class LockDisciplineRule(ProjectRule):
     """Flag unlocked accesses to lock-protected shared state."""
 
     rule_id = "LOCK-DISCIPLINE"
     description = ("attributes mutated after __init__ in lock-owning "
                    "classes may only be touched under `with "
-                   "self.<lock>:`")
+                   "self.<lock>:`; calls that re-enter a held "
+                   "non-reentrant lock are self-deadlocks")
     rationale = ("service/cluster objects are shared across handler "
                  "threads, the reaper, and batch callers; one "
                  "unlocked read is a race the runtime tests only "
                  "catch by luck")
 
-    def check_module(self, module: Module) -> Iterable[Diagnostic]:
-        for node in ast.walk(module.tree):
-            if isinstance(node, ast.ClassDef):
-                yield from self._check_class(module, node)
+    def check_project(self,
+                      modules: Sequence[Module]) -> Iterable[Diagnostic]:
+        for module in modules:
+            for node in ast.walk(module.tree):
+                if isinstance(node, ast.ClassDef):
+                    yield from self._check_class(module, node)
+        yield from self._check_self_deadlocks(modules)
+
+    def _check_self_deadlocks(self, modules: Sequence[Module],
+                              ) -> Iterator[Diagnostic]:
+        model = project_model(modules).lock_model()
+        seen: set[tuple[str, int, str]] = set()
+        for dead in model.self_deadlocks:
+            line = getattr(dead.node, "lineno", 1)
+            key = (dead.module.relpath, line, dead.lock.label)
+            if key in seen:
+                continue
+            seen.add(key)
+            if len(dead.path) > 1:
+                chain = " -> ".join(
+                    part.rsplit(".", 2)[-2] + "." +
+                    part.rsplit(".", 2)[-1]
+                    if part.count(".") >= 2 else part
+                    for part in dead.path)
+                how = f"calls into {chain}, which re-acquires"
+            else:
+                how = "re-acquires"
+            yield self.diagnostic(
+                dead.module, dead.node,
+                f"{dead.unit.label} {how} non-reentrant lock "
+                f"{dead.lock.label} already held here -- this "
+                f"deadlocks the thread; drop the outer `with`, use "
+                f"an RLock, or call an *_locked variant")
 
     def _check_class(self, module: Module,
                      cls: ast.ClassDef) -> Iterator[Diagnostic]:

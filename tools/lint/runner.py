@@ -24,7 +24,7 @@ from lint.reporters import render_json, render_text
 REPO_ROOT = Path(__file__).resolve().parents[2]
 
 #: What a bare ``repro-lint`` invocation scans.
-DEFAULT_TARGETS = ("src", "tools", "benchmarks")
+DEFAULT_TARGETS = ("src", "tools", "benchmarks", "examples")
 
 #: Pseudo-rule id attached to files that do not parse.  Deliberately
 #: not a registered (suppressible) rule: a syntax error must never be
@@ -42,6 +42,9 @@ class LintResult:
     n_files: int = 0
     #: Findings silenced by ``# repro-lint: disable`` comments.
     n_suppressed: int = 0
+    #: Suppressed-finding counts by rule id (what the CI artifact
+    #: surfaces so silenced rules stay visible).
+    suppressed_by_rule: dict[str, int] = field(default_factory=dict)
 
     @property
     def clean(self) -> bool:
@@ -115,6 +118,8 @@ def _filter_suppressed(raw: list[Diagnostic],
         if module is not None and module.suppressions.is_suppressed(
                 diag.rule_id, diag.line):
             result.n_suppressed += 1
+            result.suppressed_by_rule[diag.rule_id] = \
+                result.suppressed_by_rule.get(diag.rule_id, 0) + 1
             continue
         result.diagnostics.append(diag)
 
@@ -150,6 +155,38 @@ def lint_paths(targets: Sequence[str | Path] | None = None, *,
     return result
 
 
+def lint_sources(sources: dict[str, str], *,
+                 rule_ids: Sequence[str] | None = None) -> LintResult:
+    """Lint a set of in-memory files as one project.
+
+    ``sources`` maps claimed repo-relative paths to source text; the
+    whole set is handed to project rules together, so cross-module
+    fixtures (a lock cycle spanning two files, a client/server pair)
+    exercise the inter-procedural analyses without touching disk.
+    """
+    rules = [get_rule(rule_id) for rule_id in rule_ids] \
+        if rule_ids else all_rules()
+    result = LintResult(n_files=len(sources))
+    modules: list[Module] = []
+    raw: list[Diagnostic] = []
+    for relpath, source in sources.items():
+        try:
+            tree = ast.parse(source)
+        except SyntaxError as error:
+            raw.append(Diagnostic(
+                path=relpath, line=int(error.lineno or 1), column=0,
+                rule_id=PARSE_ERROR,
+                message=f"file does not parse: {error}"))
+            continue
+        modules.append(Module(
+            path=Path(relpath), relpath=relpath, source=source,
+            tree=tree, suppressions=suppressions.collect(source)))
+    raw.extend(_run_rules(modules, rules))
+    _filter_suppressed(raw, {module.relpath: module
+                             for module in modules}, result)
+    return result
+
+
 def lint_source(source: str, relpath: str = "fixture.py", *,
                 rule_ids: Sequence[str] | None = None) -> LintResult:
     """Lint one in-memory snippet (the fixture-test entry point).
@@ -158,22 +195,7 @@ def lint_source(source: str, relpath: str = "fixture.py", *,
     matters to path-scoped rules (e.g. the broad-except rule is
     stricter inside ``src/repro/batch/``).
     """
-    rules = [get_rule(rule_id) for rule_id in rule_ids] \
-        if rule_ids else all_rules()
-    result = LintResult(n_files=1)
-    try:
-        tree = ast.parse(source)
-    except SyntaxError as error:
-        result.diagnostics.append(Diagnostic(
-            path=relpath, line=int(error.lineno or 1), column=0,
-            rule_id=PARSE_ERROR,
-            message=f"file does not parse: {error}"))
-        return result
-    module = Module(path=Path(relpath), relpath=relpath, source=source,
-                    tree=tree, suppressions=suppressions.collect(source))
-    raw = _run_rules([module], rules)
-    _filter_suppressed(raw, {relpath: module}, result)
-    return result
+    return lint_sources({relpath: source}, rule_ids=rule_ids)
 
 
 def _list_rules() -> str:
@@ -208,6 +230,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         metavar="RULE-ID",
         help="run only the named rule (repeatable)")
     parser.add_argument(
+        "--select", dest="select", action="append", default=None,
+        metavar="RULE[,RULE]",
+        help="run only the named rules, comma-separated (repeatable; "
+             "combines with --rule); an unknown rule id exits 2")
+    parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalogue and exit")
     args = parser.parse_args(argv)
@@ -215,15 +242,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.list_rules:
         print(_list_rules())
         return 0
+    rule_ids = list(args.rules or [])
+    for selection in args.select or []:
+        rule_ids.extend(rule_id.strip()
+                        for rule_id in selection.split(",")
+                        if rule_id.strip())
     try:
-        result = lint_paths(args.targets or None, rule_ids=args.rules)
+        result = lint_paths(args.targets or None,
+                            rule_ids=rule_ids or None)
     except KeyError as error:
         print(f"repro-lint: {error.args[0]}", file=sys.stderr)
         return 2
 
-    json_report = render_json(result.diagnostics,
-                              n_files=result.n_files,
-                              n_suppressed=result.n_suppressed)
+    json_report = render_json(
+        result.diagnostics, n_files=result.n_files,
+        n_suppressed=result.n_suppressed,
+        suppressed_by_rule=result.suppressed_by_rule)
     if args.output is not None:
         args.output.write_text(json_report, encoding="utf-8")
     if args.format == "json":

@@ -1,0 +1,637 @@
+"""Static extraction of the batch layer's length-prefixed JSON
+protocol.
+
+The cache, cluster, and serving modules agree on a wire convention
+only by discipline: servers dispatch on ``request.get("op")`` (and
+result streams on ``event.get("event")``), clients build ``{"op":
+...}`` literals and read fields off the response.  This module walks
+the :class:`~lint.project.Project` model and recovers that contract as
+data -- which ops have handlers and where, which request fields each
+handler reads, what response shapes it can answer, every client-side
+request literal with the response fields its caller consumes, and the
+event-frame kinds the push streams produce and dispatch on.
+
+Two consumers: the WIRE-PROTOCOL lint rule checks the two sides
+against each other, and ``tools/gen_protocol.py`` renders the same
+model as ``docs/PROTOCOL.md``.
+
+Extraction is deliberately conservative.  Values are resolved only
+through constants, local literal assignments, and
+constant-conditional ``IfExp``s; a request or response whose shape
+cannot be fully resolved is marked *open*, and every conformance
+check that would need the missing half is skipped for it.  The
+``ok``/``error`` envelope is special: the handler loops in all three
+servers convert any handler exception into an ``{"ok": false,
+"error": ...}`` frame (and answer unknown ops the same way), so those
+two fields are considered present on every response without
+appearing in each branch literal.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from lint.asthelpers import call_name, constant_str, dotted_name
+from lint.project import FunctionUnit, Project, walk_within
+
+#: Dict keys that route frames: requests dispatch on ``op``, pushed
+#: event frames on ``event``.
+ROUTING_KEYS = ("op", "event")
+
+#: Fields every response carries by construction (the per-connection
+#: handler loops synthesize ``{"ok": false, "error": ...}`` frames for
+#: handler crashes and unknown ops).
+ENVELOPE_FIELDS = frozenset({"ok", "error"})
+
+#: Recursion bound for read/response following through calls.
+MAX_FOLLOW_DEPTH = 4
+
+
+@dataclass
+class ResponseLiteral:
+    """One response shape a handler can answer."""
+
+    keys: frozenset[str]
+    #: Unresolvable keys or a non-literal response: checks that need
+    #: the exact shape skip this literal (and its whole op).
+    open: bool
+    unit: FunctionUnit
+    node: ast.AST
+    #: The value expression under ``"ok"``, when literal.
+    ok_value: ast.expr | None = None
+
+
+@dataclass
+class Handler:
+    """One dispatch branch: ``if op == "<kind>":`` and what it does."""
+
+    kind: str
+    unit: FunctionUnit
+    node: ast.AST
+    #: Request fields read via ``request["f"]``.
+    required_fields: set[str] = field(default_factory=set)
+    #: Request fields read via ``request.get("f", ...)``.
+    optional_fields: set[str] = field(default_factory=set)
+    responses: list[ResponseLiteral] = field(default_factory=list)
+
+    @property
+    def fields_read(self) -> set[str]:
+        """Every request field the handler consumes."""
+        return self.required_fields | self.optional_fields
+
+
+@dataclass
+class RequestSite:
+    """One client-side ``{"op": ...}`` (or event) literal."""
+
+    #: Resolved op/event kinds; ``None`` when the value is dynamic.
+    kinds: frozenset[str] | None
+    routing_key: str
+    fields: set[str]
+    #: Unresolvable fields (``**something`` or computed keys).
+    open_fields: bool
+    unit: FunctionUnit
+    node: ast.AST
+    #: Fields the caller reads off the paired response (empty when no
+    #: response variable could be paired to this send).
+    response_reads: set[str] = field(default_factory=set)
+    has_response: bool = False
+
+
+@dataclass
+class EventConsumer:
+    """One dispatch site over ``event.get("event")``."""
+
+    unit: FunctionUnit
+    node: ast.AST
+    #: kind -> fields read in that kind's branch.
+    reads_by_kind: dict[str, set[str]] = field(default_factory=dict)
+
+
+@dataclass
+class WireModel:
+    """The whole extracted protocol, both sides."""
+
+    #: op -> handler branches (several servers may handle one op name).
+    handlers: dict[str, list[Handler]] = field(default_factory=dict)
+    request_sites: list[RequestSite] = field(default_factory=list)
+    event_producers: list[RequestSite] = field(default_factory=list)
+    event_consumers: list[EventConsumer] = field(default_factory=list)
+
+    def response_keys(self, op: str) -> tuple[set[str], bool]:
+        """Union of the response-literal keys every handler of ``op``
+        can answer, and whether any literal (or the op itself) is
+        open."""
+        keys: set[str] = set()
+        is_open = False
+        literals = [lit for handler in self.handlers.get(op, ())
+                    for lit in handler.responses]
+        if not literals:
+            return keys, True
+        for literal in literals:
+            keys |= literal.keys
+            is_open = is_open or literal.open
+        return keys, is_open
+
+    def sender_fields(self, op: str) -> tuple[set[str], bool, int]:
+        """Union of fields in-repo senders attach to ``op`` requests,
+        whether any sender is open, and the sender count."""
+        fields: set[str] = set()
+        is_open = False
+        count = 0
+        for site in self.request_sites:
+            if site.kinds is None:
+                continue
+            if op in site.kinds:
+                count += 1
+                fields |= site.fields
+                is_open = is_open or site.open_fields
+        return fields, is_open, count
+
+
+# ----------------------------------------------------------------------
+# Local-value resolution
+# ----------------------------------------------------------------------
+def _local_assigns(unit: FunctionUnit) -> tuple[
+        dict[str, list[ast.expr]], dict[str, set[str]],
+        dict[str, bool]]:
+    """Per-unit ``name -> assigned value exprs``, ``name -> keys added
+    via name["k"] = ...``, and ``name -> has a non-constant subscript
+    write`` (which makes the dict shape open)."""
+    assigns: dict[str, list[ast.expr]] = {}
+    key_augments: dict[str, set[str]] = {}
+    open_augments: dict[str, bool] = {}
+    for node in walk_within(unit.node):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    assigns.setdefault(target.id, []).append(node.value)
+                elif isinstance(target, ast.Subscript) \
+                        and isinstance(target.value, ast.Name):
+                    key = constant_str(target.slice)
+                    name = target.value.id
+                    if key is None:
+                        open_augments[name] = True
+                    else:
+                        key_augments.setdefault(name, set()).add(key)
+        elif isinstance(node, ast.AnnAssign) and node.value is not None \
+                and isinstance(node.target, ast.Name):
+            assigns.setdefault(node.target.id, []).append(node.value)
+    return assigns, key_augments, open_augments
+
+
+def _const_str_values(expr: ast.expr | None,
+                      assigns: dict[str, list[ast.expr]],
+                      depth: int = 0) -> frozenset[str] | None:
+    """Every string value ``expr`` can take, resolved through
+    constants, constant ``IfExp``s, and local assignments; ``None``
+    when any possibility is dynamic."""
+    if depth > MAX_FOLLOW_DEPTH or expr is None:
+        return None
+    value = constant_str(expr)
+    if value is not None:
+        return frozenset({value})
+    if isinstance(expr, ast.IfExp):
+        body = _const_str_values(expr.body, assigns, depth + 1)
+        orelse = _const_str_values(expr.orelse, assigns, depth + 1)
+        if body is None or orelse is None:
+            return None
+        return body | orelse
+    if isinstance(expr, ast.Name):
+        values: set[str] = set()
+        candidates = assigns.get(expr.id)
+        if not candidates:
+            return None
+        for candidate in candidates:
+            resolved = _const_str_values(candidate, assigns, depth + 1)
+            if resolved is None:
+                return None
+            values |= resolved
+        return frozenset(values)
+    return None
+
+
+def _dict_shape(expr: ast.expr, unit_state: tuple,
+                depth: int = 0) -> tuple[set[str], bool,
+                                         ast.expr | None]:
+    """``(keys, open, ok_value)`` for a dict-valued expression,
+    resolving ``**name`` splats and ``name["k"] = ...`` augmentations
+    through local literal assignments."""
+    assigns, key_augments, open_augments = unit_state
+    if depth > MAX_FOLLOW_DEPTH:
+        return set(), True, None
+    if isinstance(expr, ast.Dict):
+        keys: set[str] = set()
+        is_open = False
+        ok_value: ast.expr | None = None
+        for key, value in zip(expr.keys, expr.values):
+            if key is None:  # a ** splat
+                splat_keys, splat_open, _ = _dict_shape(
+                    value, unit_state, depth + 1)
+                keys |= splat_keys
+                is_open = is_open or splat_open
+                continue
+            name = constant_str(key)
+            if name is None:
+                is_open = True
+                continue
+            keys.add(name)
+            if name == "ok":
+                ok_value = value
+        return keys, is_open, ok_value
+    if isinstance(expr, ast.Name):
+        candidates = assigns.get(expr.id)
+        if not candidates:
+            return set(), True, None
+        keys = set()
+        is_open = bool(open_augments.get(expr.id))
+        ok_value = None
+        for candidate in candidates:
+            if not isinstance(candidate, ast.Dict):
+                return set(), True, None
+            inner_keys, inner_open, inner_ok = _dict_shape(
+                candidate, unit_state, depth + 1)
+            keys |= inner_keys
+            is_open = is_open or inner_open
+            ok_value = ok_value or inner_ok
+        keys |= key_augments.get(expr.id, set())
+        return keys, is_open, ok_value
+    return set(), True, None
+
+
+# ----------------------------------------------------------------------
+# Field reads
+# ----------------------------------------------------------------------
+def _var_reads(nodes, varname: str) -> tuple[set[str], set[str]]:
+    """``(required, optional)`` fields read off ``varname``:
+    ``var["f"]`` is required, ``var.get("f"[, default])`` optional."""
+    required: set[str] = set()
+    optional: set[str] = set()
+    for node in nodes:
+        if isinstance(node, ast.Subscript) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == varname \
+                and isinstance(node.ctx, ast.Load):
+            key = constant_str(node.slice)
+            if key is not None:
+                required.add(key)
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr == "get" \
+                and isinstance(node.func.value, ast.Name) \
+                and node.func.value.id == varname and node.args:
+            key = constant_str(node.args[0])
+            if key is not None:
+                optional.add(key)
+    return required, optional
+
+
+def _walk_statements(statements) -> list[ast.AST]:
+    """All nodes under a statement list, nested defs excluded."""
+    return list(walk_within(list(statements)))
+
+
+def _positional_param(callee: FunctionUnit, call: ast.Call,
+                      varname: str) -> str | None:
+    """The callee parameter name ``varname`` lands in when passed
+    positionally (bound methods have their ``self`` slot skipped)."""
+    params = callee.param_names()
+    offset = 1 if params and params[0] in ("self", "cls") \
+        and isinstance(call.func, ast.Attribute) else 0
+    for position, arg in enumerate(call.args):
+        if isinstance(arg, ast.Name) and arg.id == varname:
+            index = position + offset
+            if index < len(params):
+                return params[index]
+    for keyword in call.keywords:
+        if keyword.arg is not None \
+                and isinstance(keyword.value, ast.Name) \
+                and keyword.value.id == varname:
+            return keyword.arg
+    return None
+
+
+def _is_send_frame(call: ast.Call) -> bool:
+    name = call_name(call)
+    return name is not None and name.split(".")[-1] == "send_frame"
+
+
+def _is_recv_frame(call: ast.Call) -> bool:
+    name = call_name(call)
+    return name is not None and name.split(".")[-1] == "recv_frame"
+
+
+class _HandlerWalker:
+    """Collect one handler branch's request reads and response shapes,
+    following calls that receive the request object (for reads and
+    ``send_frame`` responses) and the return chain (for returned
+    responses)."""
+
+    def __init__(self, project: Project):
+        self._project = project
+        self._states: dict[int, tuple] = {}
+
+    def _state(self, unit: FunctionUnit) -> tuple:
+        state = self._states.get(id(unit))
+        if state is None:
+            state = _local_assigns(unit)
+            self._states[id(unit)] = state
+        return state
+
+    def analyze(self, handler: Handler, body, reqvar: str) -> None:
+        """Populate ``handler`` from its branch ``body``."""
+        self._collect_reads(handler, body, handler.unit, reqvar, 0,
+                            set())
+        self._collect_branch_responses(handler, body, handler.unit, 0)
+
+    def _collect_reads(self, handler: Handler, statements,
+                       unit: FunctionUnit, varname: str, depth: int,
+                       seen: set) -> None:
+        if depth > MAX_FOLLOW_DEPTH or (id(unit), varname) in seen:
+            return
+        seen.add((id(unit), varname))
+        nodes = _walk_statements(statements)
+        required, optional = _var_reads(nodes, varname)
+        handler.required_fields |= required - {handler_routing_key}
+        handler.optional_fields |= optional - {handler_routing_key}
+        for node in nodes:
+            if not isinstance(node, ast.Call):
+                continue
+            callee = self._project.resolve_call(unit, node)
+            if callee is None:
+                continue
+            param = _positional_param(callee, node, varname)
+            if param is None:
+                continue
+            self._collect_reads(handler, callee.node.body, callee,
+                                param, depth + 1, seen)
+            # A request-receiving callee may answer over the socket
+            # itself (the submit path); its *returns* only count when
+            # reached through the return chain below.
+            self._collect_send_frames(handler, callee.node.body,
+                                      callee, depth + 1)
+
+    def _collect_send_frames(self, handler: Handler, statements,
+                             unit: FunctionUnit, depth: int) -> None:
+        if depth > MAX_FOLLOW_DEPTH:
+            return
+        for node in _walk_statements(statements):
+            if isinstance(node, ast.Call) and _is_send_frame(node) \
+                    and len(node.args) >= 2:
+                self._add_response(handler, node.args[1], unit)
+
+    def _collect_branch_responses(self, handler: Handler, statements,
+                                  unit: FunctionUnit,
+                                  depth: int) -> None:
+        if depth > MAX_FOLLOW_DEPTH:
+            return
+        self._collect_send_frames(handler, statements, unit, depth)
+        for node in _walk_statements(statements):
+            if isinstance(node, ast.Return) and node.value is not None:
+                self._follow_return(handler, node.value, unit, depth)
+
+    def _follow_return(self, handler: Handler, expr: ast.expr,
+                       unit: FunctionUnit, depth: int) -> None:
+        if isinstance(expr, ast.Constant) and expr.value is None:
+            return
+        if isinstance(expr, ast.Call):
+            callee = self._project.resolve_call(unit, expr)
+            if callee is not None and depth < MAX_FOLLOW_DEPTH:
+                self._collect_branch_responses(
+                    handler, callee.node.body, callee, depth + 1)
+                return
+            handler.responses.append(ResponseLiteral(
+                keys=frozenset(), open=True, unit=unit, node=expr))
+            return
+        self._add_response(handler, expr, unit)
+
+    def _add_response(self, handler: Handler, expr: ast.expr,
+                      unit: FunctionUnit) -> None:
+        keys, is_open, ok_value = _dict_shape(expr, self._state(unit))
+        handler.responses.append(ResponseLiteral(
+            keys=frozenset(keys), open=is_open, unit=unit, node=expr,
+            ok_value=ok_value))
+
+
+#: The routing key of the handler currently being analyzed; set by
+#: the extraction loop before each branch (reads of the key itself --
+#: ``request.get("op")`` -- are dispatch, not payload).
+handler_routing_key = "op"
+
+
+# ----------------------------------------------------------------------
+# Dispatcher extraction
+# ----------------------------------------------------------------------
+def _routing_aliases(unit: FunctionUnit) -> dict[str, tuple[str, str]]:
+    """``alias -> (request_var, routing_key)`` for assignments like
+    ``op = request.get("op")``."""
+    aliases: dict[str, tuple[str, str]] = {}
+    for node in walk_within(unit.node):
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1 \
+                or not isinstance(node.targets[0], ast.Name):
+            continue
+        value = node.value
+        if isinstance(value, ast.Call) \
+                and isinstance(value.func, ast.Attribute) \
+                and value.func.attr == "get" \
+                and isinstance(value.func.value, ast.Name) \
+                and value.args:
+            key = constant_str(value.args[0])
+            if key in ROUTING_KEYS:
+                aliases[node.targets[0].id] = (value.func.value.id, key)
+    return aliases
+
+
+def _match_routing_test(test: ast.expr,
+                        aliases: dict[str, tuple[str, str]],
+                        ) -> tuple[str, str, frozenset[str]] | None:
+    """``(request_var, routing_key, kinds)`` when ``test`` compares a
+    routing lookup against string constants (``==`` or ``in``)."""
+    if not isinstance(test, ast.Compare) or len(test.ops) != 1:
+        return None
+    left = test.left
+    routed: tuple[str, str] | None = None
+    if isinstance(left, ast.Name):
+        routed = aliases.get(left.id)
+    elif isinstance(left, ast.Call) \
+            and isinstance(left.func, ast.Attribute) \
+            and left.func.attr == "get" \
+            and isinstance(left.func.value, ast.Name) and left.args:
+        key = constant_str(left.args[0])
+        if key in ROUTING_KEYS:
+            routed = (left.func.value.id, key)
+    if routed is None:
+        return None
+    comparator = test.comparators[0]
+    if isinstance(test.ops[0], ast.Eq):
+        kind = constant_str(comparator)
+        if kind is None:
+            return None
+        return routed[0], routed[1], frozenset({kind})
+    if isinstance(test.ops[0], ast.In) \
+            and isinstance(comparator, (ast.Tuple, ast.List, ast.Set)):
+        kinds = {constant_str(element)
+                 for element in comparator.elts}
+        if None in kinds:
+            return None
+        return routed[0], routed[1], frozenset(kinds)  # type: ignore
+    return None
+
+
+def _extract_dispatch(project: Project, unit: FunctionUnit,
+                      model: WireModel,
+                      walker: _HandlerWalker) -> None:
+    global handler_routing_key
+    aliases = _routing_aliases(unit)
+    consumer: EventConsumer | None = None
+    for node in walk_within(unit.node):
+        if not isinstance(node, ast.If):
+            continue
+        match = _match_routing_test(node.test, aliases)
+        if match is None:
+            continue
+        reqvar, routing_key, kinds = match
+        if routing_key == "op":
+            handler_routing_key = "op"
+            for kind in sorted(kinds):
+                handler = Handler(kind=kind, unit=unit, node=node)
+                walker.analyze(handler, node.body, reqvar)
+                model.handlers.setdefault(kind, []).append(handler)
+        else:
+            if consumer is None:
+                consumer = EventConsumer(unit=unit, node=node)
+                model.event_consumers.append(consumer)
+            required, optional = _var_reads(
+                _walk_statements(node.body), reqvar)
+            reads = (required | optional) - {"event"}
+            for kind in kinds:
+                consumer.reads_by_kind.setdefault(kind,
+                                                  set()).update(reads)
+
+
+# ----------------------------------------------------------------------
+# Client-side request sites and event producers
+# ----------------------------------------------------------------------
+def _find_respvar(unit: FunctionUnit, literal: ast.Dict,
+                  nodes: list[ast.AST],
+                  assigns: dict[str, list[ast.expr]]) -> str | None:
+    """The variable the response to this request literal lands in, if
+    the pairing is recognizable."""
+    # Direct: response = self._request({...})  /  via a var holding
+    # the literal: response = self._request(request)
+    literal_names = {name for name, values in assigns.items()
+                     if any(value is literal for value in values)}
+    for node in nodes:
+        if not isinstance(node, ast.Assign) \
+                or not isinstance(node.value, ast.Call) \
+                or len(node.targets) != 1 \
+                or not isinstance(node.targets[0], ast.Name):
+            continue
+        call = node.value
+        if _is_recv_frame(call):
+            continue
+        for arg in call.args + [kw.value for kw in call.keywords]:
+            if arg is literal or (isinstance(arg, ast.Name)
+                                  and arg.id in literal_names):
+                return node.targets[0].id
+    # Framed: send_frame(sock, {...}) ... resp = recv_frame(sock)
+    send_sock: str | None = None
+    for node in nodes:
+        if isinstance(node, ast.Call) and _is_send_frame(node) \
+                and len(node.args) >= 2:
+            target = node.args[1]
+            if target is literal or (isinstance(target, ast.Name)
+                                     and target.id in literal_names):
+                send_sock = ast.dump(node.args[0])
+    if send_sock is None:
+        return None
+    for node in nodes:
+        if isinstance(node, ast.Assign) \
+                and isinstance(node.value, ast.Call) \
+                and _is_recv_frame(node.value) \
+                and node.value.args \
+                and ast.dump(node.value.args[0]) == send_sock \
+                and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name):
+            return node.targets[0].id
+    return None
+
+
+def _collect_respvar_reads(project: Project, unit: FunctionUnit,
+                           nodes: list[ast.AST],
+                           respvar: str) -> set[str]:
+    required, optional = _var_reads(nodes, respvar)
+    reads = required | optional
+    # One level into helpers the response is handed to (the
+    # RemoteCache._accepted pattern).
+    for node in nodes:
+        if not isinstance(node, ast.Call):
+            continue
+        callee = project.resolve_call(unit, node)
+        if callee is None:
+            continue
+        param = _positional_param(callee, node, respvar)
+        if param is None:
+            continue
+        inner_required, inner_optional = _var_reads(
+            list(walk_within(callee.node)), param)
+        reads |= inner_required | inner_optional
+    return reads
+
+
+def _extract_sites(project: Project, unit: FunctionUnit,
+                   model: WireModel) -> None:
+    state = _local_assigns(unit)
+    assigns, key_augments, open_augments = state
+    nodes = list(walk_within(unit.node))
+    for node in nodes:
+        if not isinstance(node, ast.Dict):
+            continue
+        literal_keys = {constant_str(key) for key in node.keys
+                        if key is not None}
+        routing_key = next((key for key in ROUTING_KEYS
+                            if key in literal_keys), None)
+        if routing_key is None:
+            continue
+        value = next(value for key, value
+                     in zip(node.keys, node.values)
+                     if constant_str(key) == routing_key)
+        kinds = _const_str_values(value, assigns)
+        keys, is_open, _ok = _dict_shape(node, state)
+        # Augmentations through the variable the literal was assigned
+        # to (request["source"] = ... after request = {...}).
+        for name, values in assigns.items():
+            if any(candidate is node for candidate in values):
+                keys |= key_augments.get(name, set())
+                is_open = is_open or bool(open_augments.get(name))
+        site = RequestSite(kinds=kinds, routing_key=routing_key,
+                           fields=keys - {routing_key},
+                           open_fields=is_open, unit=unit, node=node)
+        if routing_key == "event":
+            model.event_producers.append(site)
+            continue
+        respvar = _find_respvar(unit, node, nodes, assigns)
+        if respvar is not None:
+            site.has_response = True
+            site.response_reads = _collect_respvar_reads(
+                project, unit, nodes, respvar)
+        model.request_sites.append(site)
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def build_wire_model(project: Project) -> WireModel:
+    """Extract (once per project) the protocol model both the
+    WIRE-PROTOCOL rule and the PROTOCOL.md generator consume."""
+    cached = getattr(project, "_wire_model", None)
+    if cached is not None:
+        return cached
+    model = WireModel()
+    walker = _HandlerWalker(project)
+    for unit in project.units:
+        _extract_dispatch(project, unit, model, walker)
+        _extract_sites(project, unit, model)
+    project._wire_model = model  # type: ignore[attr-defined]
+    return model

@@ -5,10 +5,16 @@ The framework lives in the ``tools/lint`` package; this script only
 puts ``tools/`` on ``sys.path`` and dispatches, so it works from any
 working directory without installation::
 
-    python tools/run_lint.py                      # lint src tools benchmarks
+    python tools/run_lint.py                      # lint src tools benchmarks examples
     python tools/run_lint.py --format json        # machine-readable report
     python tools/run_lint.py --list-rules         # rule catalogue
     python tools/run_lint.py src/repro/batch      # narrow the target
+    python tools/run_lint.py --select LOCK-ORDER,WIRE-PROTOCOL \\
+        src/repro/batch                           # one analysis, fast
+
+Exit codes: 0 clean, 1 findings, 2 usage errors -- including a
+``--select``/``--rule`` naming an unknown rule id, which prints the
+registered ids to stderr and exits 2 without scanning anything.
 
 See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue and the
 suppression policy.
