@@ -20,6 +20,8 @@ perf trajectory and what ``tools/check_bench_regression.py`` gates in
 CI -- see ``docs/BENCHMARKS.md``.
 """
 
+import io
+import time
 from contextlib import contextmanager
 
 import pytest
@@ -524,15 +526,17 @@ def bench_serve_latency_slo(benchmark):
 # Distributed execution service (-k cluster)
 # ----------------------------------------------------------------------
 @contextmanager
-def _worker_fleet(n_workers: int):
+def _worker_fleet(n_workers: int, **server_kwargs):
     """A JobServer plus in-process worker threads (real TCP + framing,
     in-thread execution), so the benches measure protocol and
-    scheduling overhead without fork noise."""
+    scheduling overhead without fork noise.  Keyword arguments pass
+    through to :class:`JobServer` (the sched benches set the
+    scheduling-policy flags and a trace sink)."""
     import threading
 
     from repro.batch.cluster import JobServer, Worker
 
-    with JobServer() as server:
+    with JobServer(**server_kwargs) as server:
         workers = [Worker(*server.address, poll=0.05)
                    for _ in range(n_workers)]
         threads = [threading.Thread(target=worker.run, daemon=True)
@@ -578,3 +582,103 @@ def bench_cluster_suite_throughput(benchmark):
 
         report = benchmark(run)
         assert report.n_jobs == len(jobs) and report.all_audits_ok
+
+
+# ----------------------------------------------------------------------
+# Scheduling policies + trace observability (-k sched)
+# ----------------------------------------------------------------------
+class SchedSleepJob:
+    """A picklable cluster job whose runtime *is* its size hint.
+
+    ``sleep`` releases the GIL, so a two-thread fleet overlaps these
+    even on a one-core CI box -- the makespan measures the *schedule*,
+    not the interpreter.
+    """
+
+    def __init__(self, name: str, seconds: float):
+        self.name = name
+        self.seconds = seconds
+
+    @property
+    def size_hint(self) -> float:
+        """Advisory size estimate: the declared runtime."""
+        return self.seconds
+
+    def execute(self) -> str:
+        """Sleep for the declared duration; the name is the result."""
+        time.sleep(self.seconds)
+        return self.name
+
+
+def _sched_jobs() -> list:
+    """The sched bench mix: eleven 15 ms points and one 120 ms
+    straggler submitted *last* -- the worst case for FIFO on a
+    two-worker fleet, and exactly what ``--order size`` fixes."""
+    jobs = [SchedSleepJob(f"small{i}", 0.015) for i in range(11)]
+    jobs.append(SchedSleepJob("big", 0.12))
+    return jobs
+
+
+def _run_sched_batch(benchmark, **server_kwargs):
+    """One traced batch of :func:`_sched_jobs` through a two-worker
+    fleet under ``server_kwargs``; trace-derived makespan, critical
+    path, and per-worker utilization land in ``extra_info``."""
+    from repro.batch.cluster import ClusterExecutor
+    from repro.batch.trace import analyze_trace, read_trace
+
+    sink = io.StringIO()
+    with _worker_fleet(2, trace=sink, **server_kwargs) as server:
+        executor = ClusterExecutor(*server.address)
+
+        def run():
+            return dict(executor.run(_sched_jobs()))
+
+        results = run_once(benchmark, run)
+    assert len(results) == 12
+    report = analyze_trace(read_trace(io.StringIO(sink.getvalue())))
+    assert report.n_completed == 12
+    benchmark.extra_info["trace_makespan_s"] = round(report.makespan, 4)
+    benchmark.extra_info["trace_critical_path_s"] = \
+        round(report.critical_path_seconds, 4)
+    benchmark.extra_info["trace_utilization"] = {
+        name: round(worker.utilization, 3)
+        for name, worker in sorted(report.workers.items())}
+    return report
+
+
+def bench_sched_fifo_baseline(benchmark):
+    """The straggler-last mix under plain FIFO: the big job starts
+    after the queue drains, so one worker idles while it runs."""
+    _run_sched_batch(benchmark)
+
+
+def bench_sched_size_ordered(benchmark):
+    """The same mix under ``--order size``: the hinted straggler
+    leases first and the small points pack around it."""
+    _run_sched_batch(benchmark, order="size")
+
+
+def bench_sched_policies_enabled(benchmark):
+    """The same mix with every policy on (size order + speculation +
+    adaptive lease): what the trace-informed flags cost when nothing
+    goes wrong (speculation has nothing to duplicate)."""
+    report = _run_sched_batch(benchmark, order="size", speculate=True,
+                              adaptive_lease=True)
+    assert report.n_failed == 0
+
+
+def bench_sched_trace_analyze(benchmark):
+    """Analyzer throughput: lowering a recorded two-worker trace to a
+    report (the ``repro-agu trace`` hot path)."""
+    from repro.batch.cluster import ClusterExecutor
+    from repro.batch.trace import analyze_trace, read_trace
+
+    sink = io.StringIO()
+    with _worker_fleet(2, trace=sink) as server:
+        executor = ClusterExecutor(*server.address)
+        results = dict(executor.run(_sched_jobs()))
+        assert len(results) == 12
+    trace = read_trace(io.StringIO(sink.getvalue()))
+
+    report = benchmark(analyze_trace, trace)
+    assert report.n_completed == 12 and report.workers

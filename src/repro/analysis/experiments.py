@@ -175,7 +175,8 @@ def statistical_rows_from_results(results) -> tuple[StatisticalRow, ...]:
 def run_statistical_comparison(
         config: StatisticalConfig | None = None, *,
         n_workers: int = 1, cache=None,
-        progress=None, executor=None) -> StatisticalSummary:
+        progress=None, executor=None,
+        trace=None) -> StatisticalSummary:
     """EXP-S1: reproduce the paper's ≈40 % average-reduction claim.
 
     The grid is sharded through the batch engine
@@ -191,7 +192,9 @@ def run_statistical_comparison(
     grid point.  The summary is bit-identical for any worker count,
     any executor, and for cached re-runs: each point's statistics
     depend only on its own seeds, and rows are assembled in grid
-    order.
+    order.  ``trace``, when given, records structured scheduling
+    events (see :mod:`repro.batch.trace`) -- a JSONL path or an open
+    tracer -- at zero cost when ``None``.
     """
     from repro.batch.engine import BatchCompiler
 
@@ -200,7 +203,7 @@ def run_statistical_comparison(
     started = time.perf_counter()
     jobs = statistical_grid_jobs(config)
     compiler = BatchCompiler(cache=cache, n_workers=n_workers,
-                             executor=executor)
+                             executor=executor, trace=trace)
 
     results = [None] * len(jobs)
     done = 0
@@ -380,7 +383,7 @@ def run_kernel_comparison(
 # The generic sharded experiment runner
 # ======================================================================
 def run_experiment(experiment: str, config=None, *, n_workers: int = 1,
-                   cache=None, progress=None, executor=None):
+                   cache=None, progress=None, executor=None, trace=None):
     """Run a registered experiment sharded through the batch engine.
 
     The uniform execution path behind every ``run_*`` ablation below:
@@ -395,7 +398,8 @@ def run_experiment(experiment: str, config=None, *, n_workers: int = 1,
     total, result)`` fires per point, and the experiment's summary
     dataclass is reassembled from the streamed results bit-identically
     to what the retired sequential loops produced -- whatever executor
-    computed them.
+    computed them.  ``trace``, when given, records structured
+    scheduling events (see :mod:`repro.batch.trace`) as JSONL.
     """
     import dataclasses as _dataclasses
 
@@ -408,7 +412,7 @@ def run_experiment(experiment: str, config=None, *, n_workers: int = 1,
     started = time.perf_counter()
     jobs = experiment_point_jobs(definition, config)
     compiler = BatchCompiler(cache=cache, n_workers=n_workers,
-                             executor=executor)
+                             executor=executor, trace=trace)
 
     results = [None] * len(jobs)
     done = 0

@@ -54,6 +54,7 @@ from __future__ import annotations
 import base64
 import itertools
 import logging
+import os
 import pickle
 import queue
 import socket
@@ -69,7 +70,9 @@ from repro.batch.engine import (
     Executor,
     JobFailure,
     execute_any,
+    job_size_hint,
 )
+from repro.batch.trace import open_tracer, percentile
 from repro.batch.service import (
     FrameTooLargeError,
     _close_socket,
@@ -128,11 +131,16 @@ class ClusterStats:
     requeued: int = 0
     #: Jobs dropped unrun (batch cancelled, failed, or abandoned).
     dropped: int = 0
+    #: Speculative duplicate leases issued for suspected stragglers.
+    speculated: int = 0
+    #: Worker reports that arrived after their lease was superseded.
+    stale: int = 0
 
     def __str__(self) -> str:
         return (f"{self.batches} batch(es), {self.jobs} job(s): "
                 f"{self.completed} completed, {self.failed} failed, "
-                f"{self.requeued} requeued, {self.dropped} dropped")
+                f"{self.requeued} requeued, {self.dropped} dropped, "
+                f"{self.speculated} speculated, {self.stale} stale")
 
 
 @dataclass
@@ -169,6 +177,14 @@ class _Batch:
     state: str = "running"
     #: Lease attempts per index (requeue bookkeeping).
     attempts: dict[int, int] = field(default_factory=dict)
+    #: Optional per-index display names from the submit frame's hints.
+    names: list | None = None
+    #: Optional per-index size hints (bigger = slower; ordering input).
+    sizes: list | None = None
+    #: Indices with a live speculative duplicate (queued or leased).
+    speculating: set[int] = field(default_factory=set)
+    #: Accepted execution seconds (feeds the speculation threshold).
+    durations: deque = field(default_factory=lambda: deque(maxlen=256))
 
 
 class _JobRequestHandler(socketserver.BaseRequestHandler):
@@ -241,7 +257,7 @@ class _JobRequestHandler(socketserver.BaseRequestHandler):
             except (BatchError, OSError):
                 pass
             return
-        batch = server.create_batch(jobs)
+        batch = server.create_batch(jobs, hints=submit.get("hints"))
         try:
             send_frame(self.request, {
                 "ok": True, "batch": batch.batch_id, "n_jobs": len(jobs),
@@ -345,6 +361,40 @@ class JobServer:
         result streams are not subject to the read timeout -- an idle
         submitting client is normal; a dead one is detected when the
         heartbeat send backs up.
+    order:
+        Job scheduling order: ``"fifo"`` (the default, submission
+        order) or ``"size"`` (largest size hint first, so one big job
+        cannot land last and serialize the tail of the batch; jobs
+        without a hint keep FIFO order after the hinted ones).  Size
+        hints ride in the submit frame -- the server still never
+        unpickles a payload.
+    speculate:
+        Speculative re-lease of stragglers: when the ready queue is
+        drained and a lease has been out longer than
+        ``speculate_factor`` times the batch's observed p95 execution
+        time (needs ``speculate_min_samples`` completions first), a
+        duplicate copy of the job is requeued for an idle worker.
+        First result wins -- the loser is acknowledged as stale and
+        discarded -- so results stay bit-identical; the cost is only
+        duplicate compute.  Off by default.
+    adaptive_lease:
+        Derive the effective lease timeout from observed execution
+        times (``adaptive_factor`` times the p95 across the last
+        completions, floored at ``adaptive_floor`` seconds) once
+        ``adaptive_min_samples`` completions exist, instead of the
+        static ``lease_timeout``.  Lost workers are then detected in
+        proportion to real job durations.  Off by default.
+    trace:
+        Trace sink (path, stream, or a shared
+        :class:`~repro.batch.trace.Tracer`); ``None`` disables
+        tracing at zero cost.  See :mod:`repro.batch.trace` for the
+        event schema.
+    clock:
+        Monotonic clock; injectable for deterministic tests.
+    auto_reap:
+        Start the background policy thread (lease reaping +
+        speculation).  Tests pass ``False`` and drive
+        :meth:`run_policies` by hand under a virtual clock.
 
     Run blocking with :meth:`serve_forever` (the CLI does) or on a
     background thread via :meth:`start` / the context-manager form
@@ -362,7 +412,18 @@ class JobServer:
     def __init__(self, host: str = "127.0.0.1", port: int = 0, *,
                  lease_timeout: float = 60.0, max_attempts: int = 3,
                  heartbeat: float = 2.0,
-                 idle_timeout: float | None = 600.0):
+                 idle_timeout: float | None = 600.0,
+                 order: str = "fifo",
+                 speculate: bool = False,
+                 speculate_factor: float = 2.0,
+                 speculate_min_samples: int = 3,
+                 adaptive_lease: bool = False,
+                 adaptive_factor: float = 3.0,
+                 adaptive_min_samples: int = 5,
+                 adaptive_floor: float = 1.0,
+                 trace: Any = None,
+                 clock: Callable[[], float] = time.monotonic,
+                 auto_reap: bool = True):
         if lease_timeout <= 0:
             raise BatchError(
                 f"lease_timeout must be > 0 seconds, got {lease_timeout}")
@@ -373,21 +434,47 @@ class JobServer:
             raise BatchError(
                 f"idle_timeout must be > 0 seconds or None, got "
                 f"{idle_timeout}")
+        if order not in ("fifo", "size"):
+            raise BatchError(
+                f"order must be 'fifo' or 'size', got {order!r}")
+        if speculate_factor <= 0 or adaptive_factor <= 0:
+            raise BatchError("policy factors must be > 0")
+        if speculate_min_samples < 1 or adaptive_min_samples < 1:
+            raise BatchError("policy min_samples must be >= 1")
         self.lease_timeout = float(lease_timeout)
         self.max_attempts = int(max_attempts)
         self.heartbeat = float(heartbeat)
         self.idle_timeout = idle_timeout
+        self.order = order
+        self.speculate = bool(speculate)
+        self.speculate_factor = float(speculate_factor)
+        self.speculate_min_samples = int(speculate_min_samples)
+        self.adaptive_lease = bool(adaptive_lease)
+        self.adaptive_factor = float(adaptive_factor)
+        self.adaptive_min_samples = int(adaptive_min_samples)
+        self.adaptive_floor = float(adaptive_floor)
+        self.auto_reap = bool(auto_reap)
         self.stats = ClusterStats()
+        self._clock = clock
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
         self._batches: dict[str, _Batch] = {}
         self._ready: deque[tuple[str, int]] = deque()
         self._leases: dict[str, _Lease] = {}
         self._workers: set[object] = set()
+        self._worker_names: dict[object, str] = {}
+        self._worker_ids = itertools.count(1)
+        self._durations: deque = deque(maxlen=512)
         self._ids = itertools.count(1)
         server_class = _TcpServer6 if ":" in host else _TcpServer
         self._server = server_class((host, port), _JobRequestHandler)
         self._server.job_server = self  # type: ignore[attr-defined]
+        self._trace = open_tracer(
+            trace, source="job-server", clock=clock,
+            meta={"endpoint": self.endpoint,
+                  "lease_timeout": self.lease_timeout,
+                  "order": self.order, "speculate": self.speculate,
+                  "adaptive_lease": self.adaptive_lease})
         self._thread: threading.Thread | None = None
         self._reaper: threading.Thread | None = None
         # An Event, not a bool: the reaper thread polls this as its
@@ -431,6 +518,14 @@ class JobServer:
                 return
         _close_socket(sock)
 
+    def _worker_name_locked(self, owner: object) -> str:
+        name = self._worker_names.get(owner)
+        if name is None:
+            name = f"w{next(self._worker_ids)}"
+            self._worker_names[owner] = name
+            self._trace.emit("worker_join", worker=name)
+        return name
+
     def register_worker(self, owner: object) -> None:
         """Note a live worker connection.  Called on the first
         ``lease`` op, not on connect, so diagnostic connections
@@ -438,6 +533,7 @@ class JobServer:
         reported to clients."""
         with self._lock:
             self._workers.add(owner)
+            self._worker_name_locked(owner)
 
     def release_worker(self, owner: object) -> None:
         """Worker connection gone: requeue every lease it still held."""
@@ -447,20 +543,72 @@ class JobServer:
                         if lease.owner is owner]
             for lease in stranded:
                 self._requeue_locked(lease, reason="worker disconnected")
+            name = self._worker_names.pop(owner, None)
+            if name is not None:
+                self._trace.emit("worker_leave", worker=name)
 
     # -- the scheduler (all under self._lock) --------------------------
-    def create_batch(self, payloads: Sequence[str]) -> _Batch:
-        """Register a submitted batch and queue its jobs FIFO."""
+    @staticmethod
+    def _normalize_hints(hints: Any, n_jobs: int) -> tuple[list | None,
+                                                           list | None]:
+        """Submit-frame ``hints`` -> parallel name/size lists.
+
+        Hints are advisory: anything malformed (wrong length, wrong
+        types) is silently ignored rather than failing the batch.
+        """
+        if not isinstance(hints, list) or len(hints) != n_jobs:
+            return None, None
+        names: list = []
+        sizes: list = []
+        for hint in hints:
+            entry = hint if isinstance(hint, dict) else {}
+            name = entry.get("name")
+            size = entry.get("size")
+            names.append(name if isinstance(name, str) else None)
+            sizes.append(float(size)
+                         if isinstance(size, (int, float))
+                         and not isinstance(size, bool) else None)
+        if not any(name is not None for name in names):
+            names = None
+        if not any(size is not None for size in sizes):
+            sizes = None
+        return names, sizes
+
+    def _schedule_order(self, sizes: list | None,
+                        n_jobs: int) -> list[int]:
+        indices = list(range(n_jobs))
+        if self.order != "size" or not sizes:
+            return indices
+        # Largest hinted job first; unhinted jobs keep FIFO order
+        # after every hinted one (the sort is stable).
+        indices.sort(key=lambda index: (
+            0, -sizes[index]) if sizes[index] is not None else (1, 0))
+        return indices
+
+    def create_batch(self, payloads: Sequence[str],
+                     hints: Any = None) -> _Batch:
+        """Register a submitted batch and queue its jobs (FIFO, or
+        largest-hint-first under ``order="size"``)."""
+        names, sizes = self._normalize_hints(hints, len(payloads))
         with self._lock:
             batch_id = f"b{next(self._ids)}"
             batch = _Batch(
                 batch_id=batch_id,
                 payloads=dict(enumerate(payloads)),
                 unresolved=set(range(len(payloads))),
-                events=queue.Queue())
+                events=queue.Queue(),
+                names=names, sizes=sizes)
             self._batches[batch_id] = batch
-            self._ready.extend((batch_id, index)
-                               for index in range(len(payloads)))
+            order = self._schedule_order(sizes, len(payloads))
+            self._ready.extend((batch_id, index) for index in order)
+            if self._trace.enabled:
+                for index in range(len(payloads)):
+                    fields: dict = {"batch": batch_id, "index": index}
+                    if names and names[index] is not None:
+                        fields["name"] = names[index]
+                    if sizes and sizes[index] is not None:
+                        fields["size"] = sizes[index]
+                    self._trace.emit("enqueue", **fields)
             self.stats.batches += 1
             self.stats.jobs += len(payloads)
             self._work.notify_all()
@@ -478,8 +626,10 @@ class JobServer:
 
     def lease(self, owner: object, wait: float) -> dict:
         """Lease the next queued job to ``owner``; blocks up to
-        ``wait`` seconds (capped) when the queue is empty."""
-        deadline = time.monotonic() + max(0.0, min(wait, MAX_LEASE_WAIT))
+        ``wait`` seconds (capped) when the queue is empty.  (The block
+        itself is real time even under an injected virtual clock --
+        deterministic tests lease with ``wait=0``.)"""
+        deadline = self._clock() + max(0.0, min(wait, MAX_LEASE_WAIT))
         with self._lock:
             while True:
                 entry = self._pop_ready_locked()
@@ -490,14 +640,20 @@ class JobServer:
                         lease_id=f"l{next(self._ids)}",
                         batch_id=batch.batch_id, index=index,
                         payload=payload, owner=owner,
-                        leased_at=time.monotonic())
+                        leased_at=self._clock())
                     self._leases[lease.lease_id] = lease
                     batch.attempts[index] = \
                         batch.attempts.get(index, 0) + 1
+                    if self._trace.enabled:
+                        self._trace.emit(
+                            "lease", batch=batch.batch_id, index=index,
+                            lease=lease.lease_id,
+                            worker=self._worker_name_locked(owner),
+                            attempt=batch.attempts[index])
                     return {"ok": True, "lease": lease.lease_id,
                             "batch": batch.batch_id, "index": index,
                             "job": payload}
-                remaining = deadline - time.monotonic()
+                remaining = deadline - self._clock()
                 if remaining <= 0:
                     return {"ok": True, "idle": True}
                 self._work.wait(remaining)
@@ -505,34 +661,64 @@ class JobServer:
     def _take_lease_locked(self, lease_id: str) -> _Lease | None:
         return self._leases.pop(lease_id, None)
 
-    def complete(self, lease_id: str, result_payload: str) -> dict:
+    def _stale_locked(self, lease_id: str,
+                      lease: _Lease | None) -> dict:
+        self.stats.stale += 1
+        if self._trace.enabled:
+            fields: dict = {"lease": lease_id}
+            if lease is not None:
+                fields.update(batch=lease.batch_id, index=lease.index)
+            self._trace.emit("stale_result", **fields)
+        return {"ok": True, "stale": True}
+
+    def complete(self, lease_id: str, result_payload: str,
+                 seconds: float | None = None) -> dict:
         """Accept a worker's result; stale leases are acknowledged but
-        ignored (the job was requeued, or its batch is gone)."""
+        ignored (the job was requeued or speculatively duplicated and
+        already resolved, or its batch is gone).  ``seconds`` is the
+        worker's self-timed execution duration; it seeds the adaptive
+        lease timeout and the speculation threshold."""
         with self._lock:
+            now = self._clock()
             lease = self._take_lease_locked(lease_id)
             if lease is None:
-                return {"ok": True, "stale": True}
+                return self._stale_locked(lease_id, None)
             batch = self._batches.get(lease.batch_id)
             if batch is None or lease.index not in batch.unresolved:
-                return {"ok": True, "stale": True}
+                return self._stale_locked(lease_id, lease)
+            elapsed = (float(seconds)
+                       if isinstance(seconds, (int, float))
+                       and not isinstance(seconds, bool)
+                       and seconds >= 0
+                       else max(0.0, now - lease.leased_at))
+            if batch is not None:
+                batch.durations.append(elapsed)
+            self._durations.append(elapsed)
             self.stats.completed += 1
             if batch.state != "dead":
                 batch.events.put({"event": "result",
                                   "index": lease.index,
                                   "result": result_payload})
+            if self._trace.enabled:
+                self._trace.emit(
+                    "finish", batch=lease.batch_id, index=lease.index,
+                    lease=lease_id,
+                    worker=self._worker_names.get(lease.owner),
+                    outcome="ok", seconds=round(elapsed, 9))
             self._resolve_locked(batch, lease.index)
             return {"ok": True}
 
-    def fail(self, lease_id: str, error: str, error_type: str) -> dict:
+    def fail(self, lease_id: str, error: str, error_type: str,
+             seconds: float | None = None) -> dict:
         """Accept a worker's job-failure report: the batch stops
         scheduling new jobs, in-flight ones drain, queued ones drop."""
         with self._lock:
             lease = self._take_lease_locked(lease_id)
             if lease is None:
-                return {"ok": True, "stale": True}
+                return self._stale_locked(lease_id, None)
             batch = self._batches.get(lease.batch_id)
             if batch is None or lease.index not in batch.unresolved:
-                return {"ok": True, "stale": True}
+                return self._stale_locked(lease_id, lease)
             self.stats.failed += 1
             if batch.state == "running":
                 batch.state = "failing"
@@ -542,6 +728,17 @@ class JobServer:
                                   "index": lease.index,
                                   "error": error,
                                   "error_type": error_type})
+            if self._trace.enabled:
+                fields: dict = {
+                    "batch": lease.batch_id, "index": lease.index,
+                    "lease": lease_id,
+                    "worker": self._worker_names.get(lease.owner),
+                    "outcome": "failed", "error_type": error_type}
+                if isinstance(seconds, (int, float)) \
+                        and not isinstance(seconds, bool) \
+                        and seconds >= 0:
+                    fields["seconds"] = round(float(seconds), 9)
+                self._trace.emit("finish", **fields)
             self._resolve_locked(batch, lease.index)
             return {"ok": True}
 
@@ -570,12 +767,26 @@ class JobServer:
             batch.events.put({"event": "aborted"})
 
     def _drop_queued_locked(self, batch: _Batch) -> None:
+        leased_live = {lease.index for lease in self._leases.values()
+                       if lease.batch_id == batch.batch_id}
         for index in list(batch.payloads):
             del batch.payloads[index]
+            if index in leased_live:
+                # A speculative queue copy: the live lease still
+                # resolves this slot, so only the duplicate is gone.
+                continue
             batch.unresolved.discard(index)
             self.stats.dropped += 1
+            if self._trace.enabled:
+                self._trace.emit("drop", batch=batch.batch_id,
+                                 index=index)
 
     def _resolve_locked(self, batch: _Batch, index: int) -> None:
+        # A resolved index must leave the ready queue too: under
+        # speculation a duplicate copy may still be queued, and
+        # re-leasing a finished job would waste a worker.
+        batch.payloads.pop(index, None)
+        batch.speculating.discard(index)
         batch.unresolved.discard(index)
         self._check_terminal_locked(batch)
 
@@ -587,18 +798,35 @@ class JobServer:
             batch.events.put({"event": terminal})
         self._batches.pop(batch.batch_id, None)
 
-    def _requeue_locked(self, lease: _Lease,
-                        reason: str) -> None:
+    def _trace_lease_end_locked(self, lease: _Lease, *, expired: bool,
+                                reason: str, requeued: bool) -> None:
+        # Lease-lifecycle invariant: every popped lease gets exactly
+        # one terminal trace event (finish / expire / requeue).
+        if not self._trace.enabled:
+            return
+        self._trace.emit(
+            "expire" if expired else "requeue",
+            batch=lease.batch_id, index=lease.index,
+            lease=lease.lease_id,
+            worker=self._worker_names.get(lease.owner),
+            reason=reason, requeued=requeued)
+
+    def _requeue_locked(self, lease: _Lease, reason: str,
+                        expired: bool = False) -> None:
         if self._leases.pop(lease.lease_id, None) is None:
             return  # already resolved or requeued by another path
         batch = self._batches.get(lease.batch_id)
         if batch is None or lease.index not in batch.unresolved \
                 or lease.index in batch.payloads:
+            self._trace_lease_end_locked(
+                lease, expired=expired, reason=reason, requeued=False)
             return
         if batch.state != "running":
             # A draining batch has no use for a re-run: resolve the
             # slot as dropped so the terminal event can fire.
             self.stats.dropped += 1
+            self._trace_lease_end_locked(
+                lease, expired=expired, reason=reason, requeued=False)
             self._resolve_locked(batch, lease.index)
             return
         if batch.attempts.get(lease.index, 0) >= self.max_attempts:
@@ -607,6 +835,8 @@ class JobServer:
                 lease.index, batch.batch_id, self.max_attempts)
             self.stats.failed += 1
             batch.state = "failing"
+            self._trace_lease_end_locked(
+                lease, expired=expired, reason=reason, requeued=False)
             self._drop_queued_locked(batch)
             batch.events.put({
                 "event": "failed", "index": lease.index,
@@ -618,23 +848,123 @@ class JobServer:
         _LOGGER.info("requeueing job %d of batch %s (%s)",
                      lease.index, batch.batch_id, reason)
         self.stats.requeued += 1
+        self._trace_lease_end_locked(
+            lease, expired=expired, reason=reason, requeued=True)
         # Recover the payload from the lease-time snapshot: payloads
         # are popped at lease time, so stash it back via the lease.
         batch.payloads[lease.index] = lease.payload
         self._ready.appendleft((lease.batch_id, lease.index))
         self._work.notify()
 
-    def reap_expired_leases(self) -> int:
-        """Requeue every lease older than ``lease_timeout``; returns
-        how many were reaped (the reaper thread calls this; tests may
-        call it directly for determinism)."""
-        now = time.monotonic()
+    def _effective_lease_timeout_locked(self) -> float:
+        if not self.adaptive_lease \
+                or len(self._durations) < self.adaptive_min_samples:
+            return self.lease_timeout
+        return max(self.adaptive_floor,
+                   self.adaptive_factor
+                   * percentile(self._durations, 95.0))
+
+    def effective_lease_timeout(self) -> float:
+        """The lease timeout currently in force: the static
+        ``lease_timeout``, or the adaptive p95-derived one once
+        enough completions have been observed."""
         with self._lock:
+            return self._effective_lease_timeout_locked()
+
+    def reap_expired_leases(self) -> int:
+        """Requeue every lease older than the effective lease timeout;
+        returns how many were reaped (the policy thread calls this;
+        tests may call it directly for determinism)."""
+        now = self._clock()
+        with self._lock:
+            timeout = self._effective_lease_timeout_locked()
             expired = [lease for lease in self._leases.values()
-                       if now - lease.leased_at > self.lease_timeout]
+                       if now - lease.leased_at > timeout]
             for lease in expired:
-                self._requeue_locked(lease, reason="lease expired")
+                self._requeue_locked(lease, reason="lease expired",
+                                     expired=True)
             return len(expired)
+
+    def _has_ready_work_locked(self) -> bool:
+        return any(
+            batch_id in self._batches
+            and index in self._batches[batch_id].payloads
+            for batch_id, index in self._ready)
+
+    def speculate_stragglers(self) -> int:
+        """Queue a duplicate copy of every suspected straggler.
+
+        A lease is a suspected straggler when the ready queue is
+        drained (an idle worker exists to absorb the duplicate), its
+        batch has at least ``speculate_min_samples`` observed
+        completions, and the lease is older than ``speculate_factor``
+        times the batch's p95 execution time.  At most one duplicate
+        per job is ever live; first result wins, the other is
+        acknowledged stale.  Returns how many duplicates were queued.
+        No-op unless ``speculate`` is on.
+        """
+        if not self.speculate:
+            return 0
+        now = self._clock()
+        queued = 0
+        with self._lock:
+            if self._has_ready_work_locked():
+                return 0
+            for lease in list(self._leases.values()):
+                batch = self._batches.get(lease.batch_id)
+                if batch is None or batch.state != "running":
+                    continue
+                if lease.index not in batch.unresolved \
+                        or lease.index in batch.speculating \
+                        or lease.index in batch.payloads:
+                    continue
+                if len(batch.durations) < self.speculate_min_samples:
+                    continue
+                threshold = self.speculate_factor * percentile(
+                    batch.durations, 95.0)
+                age = now - lease.leased_at
+                if age <= threshold:
+                    continue
+                _LOGGER.info(
+                    "speculatively re-leasing job %d of batch %s "
+                    "(lease %s out %.3f s > %.3f s)", lease.index,
+                    lease.batch_id, lease.lease_id, age, threshold)
+                batch.speculating.add(lease.index)
+                batch.payloads[lease.index] = lease.payload
+                self._ready.append((lease.batch_id, lease.index))
+                self.stats.speculated += 1
+                queued += 1
+                if self._trace.enabled:
+                    self._trace.emit(
+                        "speculate", batch=lease.batch_id,
+                        index=lease.index, lease=lease.lease_id,
+                        age=round(age, 6),
+                        threshold=round(threshold, 6))
+            if queued:
+                self._work.notify_all()
+        return queued
+
+    def run_policies(self) -> dict[str, int]:
+        """One scheduler maintenance sweep: reap expired leases, then
+        speculate on stragglers.  The background policy thread calls
+        this periodically; deterministic tests call it directly after
+        advancing their virtual clock.  Returns the per-policy
+        action counts."""
+        reaped = self.reap_expired_leases()
+        speculated = self.speculate_stragglers()
+        if self._trace.enabled:
+            with self._lock:
+                queued = sum(
+                    1 for batch_id, index in self._ready
+                    if batch_id in self._batches
+                    and index in self._batches[batch_id].payloads)
+                self._trace.emit(
+                    "heartbeat", queued=queued,
+                    leased=len(self._leases),
+                    workers=len(self._workers),
+                    lease_timeout=round(
+                        self._effective_lease_timeout_locked(), 6))
+        return {"reaped": reaped, "speculated": speculated}
 
     # -- the worker-facing protocol ------------------------------------
     def handle_worker_request(self, request: dict,
@@ -655,7 +985,11 @@ class JobServer:
                         "batches": len(self._batches),
                         "completed": self.stats.completed,
                         "failed": self.stats.failed,
-                        "requeued": self.stats.requeued}
+                        "requeued": self.stats.requeued,
+                        "speculated": self.stats.speculated,
+                        "stale": self.stats.stale,
+                        "lease_timeout":
+                            self._effective_lease_timeout_locked()}
         if op == "lease":
             wait = request.get("wait", 0.0)
             if not isinstance(wait, (int, float)) or wait < 0:
@@ -671,21 +1005,29 @@ class JobServer:
                 return {"ok": False,
                         "error": "'complete' needs a string 'lease' "
                                  "and a string 'result'"}
-            return self.complete(lease_id, result)
+            seconds = request.get("seconds")
+            return self.complete(
+                lease_id, result,
+                seconds=seconds
+                if isinstance(seconds, (int, float)) else None)
         if op == "fail":
             lease_id = request.get("lease")
             if not isinstance(lease_id, str):
                 return {"ok": False,
                         "error": "'fail' needs a string 'lease'"}
-            return self.fail(lease_id,
-                             str(request.get("error", "unknown error")),
-                             str(request.get("error_type", "Exception")))
+            seconds = request.get("seconds")
+            return self.fail(
+                lease_id,
+                str(request.get("error", "unknown error")),
+                str(request.get("error_type", "Exception")),
+                seconds=seconds
+                if isinstance(seconds, (int, float)) else None)
         return {"ok": False, "error": f"unknown op {op!r}"}
 
     # -- lifecycle -----------------------------------------------------
     def _start_reaper(self) -> None:
         # repro-lint: disable=LOCK-DISCIPLINE -- _reaper is a lifecycle attr; only start/serve_forever call this, on the controlling thread
-        if self._reaper is not None:
+        if self._reaper is not None or not self.auto_reap:
             return
 
         def reap_loop() -> None:
@@ -693,7 +1035,7 @@ class JobServer:
             while self._serving.is_set():
                 time.sleep(interval)
                 try:
-                    self.reap_expired_leases()
+                    self.run_policies()
                 # repro-lint: disable=BROAD-EXCEPT -- the reaper must outlive any one bad iteration; the failure is logged, not hidden
                 except Exception:  # pragma: no cover - belt and braces
                     _LOGGER.exception("lease reaper iteration failed")
@@ -742,6 +1084,7 @@ class JobServer:
         if self._reaper is not None:
             self._reaper.join(timeout=5.0)
             self._reaper = None
+        self._trace.close()
 
     def __enter__(self) -> "JobServer":
         return self.start()
@@ -773,16 +1116,30 @@ class Worker:
     timeout:
         Per-request socket timeout; must exceed ``poll``.
     max_jobs:
-        Exit after executing this many jobs (``None`` = run forever).
+        Exit after the server *accepts* this many job outcomes
+        (``None`` = run forever).  Stale outcomes -- results the
+        server already got elsewhere after a lease expiry or a
+        speculative re-lease -- do not consume slots, so a fleet
+        sized ``max_jobs = len(batch)`` cannot exit early and strand
+        the batch.
     idle_exit:
-        Exit after this many consecutive seconds without work
-        (``None`` = run forever); what CI smokes and tests use.
+        Exit after this many consecutive seconds without *accepted*
+        work (``None`` = run forever); what CI smokes and tests use.
+        Stale outcomes do not reset the idle clock.
     connect_retry:
         Seconds to keep retrying the initial connection, so workers
         may start before their server.
     on_event:
         Optional callback ``(kind, detail)`` for per-job logging
-        (kinds: ``connected``, ``executed``, ``failed``, ``idle``).
+        (kinds: ``connected``, ``executed``, ``failed``, ``stale``,
+        ``idle``).
+    trace:
+        Trace sink (path, stream, or a shared
+        :class:`~repro.batch.trace.Tracer`); ``None`` disables
+        tracing.  The worker emits ``start``/``finish`` events with
+        self-timed execution durations.
+    clock:
+        Monotonic clock; injectable for deterministic tests.
 
     Example::
 
@@ -797,7 +1154,9 @@ class Worker:
                  timeout: float = 30.0, max_jobs: int | None = None,
                  idle_exit: float | None = None,
                  connect_retry: float = 10.0,
-                 on_event: Callable[[str, str], None] | None = None):
+                 on_event: Callable[[str, str], None] | None = None,
+                 trace: Any = None,
+                 clock: Callable[[], float] = time.monotonic):
         if not 1 <= int(port) <= 65535:
             raise BatchError(
                 f"job server port must be in 1..65535, got {port}")
@@ -812,10 +1171,19 @@ class Worker:
         self.idle_exit = idle_exit
         self.connect_retry = float(connect_retry)
         self._on_event = on_event or (lambda kind, detail: None)
+        self._clock = clock
+        self._trace = open_tracer(
+            trace, source="worker", clock=clock,
+            meta={"endpoint": format_endpoint(host, int(port))})
+        self._worker_label = f"pid{os.getpid()}"
         self._sock: socket.socket | None = None
         self._stopping = threading.Event()
-        #: Jobs executed so far (readable mid-run and after interrupts).
+        #: Outcomes the server accepted so far (readable mid-run and
+        #: after interrupts); stale outcomes are counted separately.
         self.jobs_executed = 0
+        #: Outcomes the server acknowledged as stale (the job was
+        #: re-leased elsewhere first); they never consume ``max_jobs``.
+        self.jobs_stale = 0
 
     @property
     def endpoint(self) -> str:
@@ -878,11 +1246,19 @@ class Worker:
         self._stopping.set()
 
     def run(self) -> int:
-        """Serve until a stop condition; returns jobs executed.
+        """Serve until a stop condition; returns accepted outcomes.
 
         Raises :class:`~repro.errors.BatchError` when the server goes
         away (after the initial ``connect_retry`` grace) -- unless
         :meth:`stop` was requested, which exits quietly.
+
+        Accounting: only outcomes the server *accepts* count toward
+        ``max_jobs`` or reset the ``idle_exit`` clock.  An outcome the
+        server marks stale (the lease expired mid-execution and the
+        job finished elsewhere first) lands in :attr:`jobs_stale`
+        instead -- a worker racing concurrent lease expiry can
+        therefore never burn its job budget on work the batch did not
+        use, nor look busier than the batch considers it.
         """
         idle_since: float | None = None
         try:
@@ -898,53 +1274,81 @@ class Worker:
                     raise
                 if response.get("idle"):
                     self._on_event("idle", "")
-                    now = time.monotonic()
+                    now = self._clock()
                     idle_since = idle_since if idle_since is not None \
                         else now
                     if self.idle_exit is not None \
                             and now - idle_since >= self.idle_exit:
                         break
                     continue
-                idle_since = None
                 lease_id = response["lease"]
                 job = decode_payload(response["job"])
                 name = getattr(job, "name", "<unnamed>")
+                if self._trace.enabled:
+                    self._trace.emit(
+                        "start", lease=lease_id,
+                        batch=response.get("batch"),
+                        index=response.get("index"),
+                        name=str(name), worker=self._worker_label)
                 started = time.perf_counter()
+                outcome = "ok"
                 try:
                     result = execute_any(job)
                 # repro-lint: disable=BROAD-EXCEPT -- not swallowed: the failure is reported to the job server, which fails the batch with attribution
                 except Exception as error:
-                    self._request({
+                    elapsed = time.perf_counter() - started
+                    outcome = "failed"
+                    reply = self._request({
                         "op": "fail", "lease": lease_id,
                         "error": str(error),
-                        "error_type": type(error).__name__})
+                        "error_type": type(error).__name__,
+                        "seconds": elapsed})
                     self._on_event(
                         "failed",
                         f"{name}: {type(error).__name__}: {error}")
                 else:
+                    elapsed = time.perf_counter() - started
                     try:
-                        self._request({
+                        reply = self._request({
                             "op": "complete", "lease": lease_id,
-                            "result": encode_payload(result)})
+                            "result": encode_payload(result),
+                            "seconds": elapsed})
                     except FrameTooLargeError as error:
                         # The result, not the server, is the problem:
                         # report the job failed instead of dying and
                         # taking the next worker down the same way.
-                        self._request({
+                        outcome = "failed"
+                        reply = self._request({
                             "op": "fail", "lease": lease_id,
                             "error": f"result too large for one "
                                      f"protocol frame: {error}",
-                            "error_type": "FrameTooLarge"})
+                            "error_type": "FrameTooLarge",
+                            "seconds": elapsed})
                         self._on_event(
                             "failed", f"{name}: result too large")
-                    else:
-                        elapsed = time.perf_counter() - started
+                accepted = not reply.get("stale")
+                if self._trace.enabled:
+                    self._trace.emit(
+                        "finish", lease=lease_id, name=str(name),
+                        worker=self._worker_label, outcome=outcome,
+                        accepted=accepted,
+                        seconds=round(elapsed, 9))
+                if accepted:
+                    if outcome == "ok":
                         self._on_event(
                             "executed",
                             f"{name} ({1000 * elapsed:.0f} ms)")
-                self.jobs_executed += 1
+                    self.jobs_executed += 1
+                    idle_since = None
+                else:
+                    self.jobs_stale += 1
+                    self._on_event(
+                        "stale",
+                        f"{name}: outcome arrived after the lease "
+                        f"was superseded")
         finally:
             self.close()
+            self._trace.close()
         return self.jobs_executed
 
 
@@ -969,9 +1373,15 @@ class _ClusterStream(ExecutionStream):
             sock = socket.create_connection(
                 (executor.host, executor.port), timeout=self._timeout)
             sock.settimeout(self._timeout)
+            # Hints are advisory metadata for the server's scheduler
+            # and tracer (names + size estimates); payloads stay
+            # opaque, so this is the only job shape the server sees.
+            hints = [{"name": str(getattr(job, "name", "")) or None,
+                      "size": job_size_hint(job)} for job in jobs]
             send_frame(sock, {"op": "submit",
                               "jobs": [encode_payload(job)
-                                       for job in jobs]})
+                                       for job in jobs],
+                              "hints": hints})
             ack = recv_frame(sock)
         except FrameTooLargeError as error:
             _close_socket(sock)

@@ -47,6 +47,7 @@ from __future__ import annotations
 import copy
 import dataclasses
 import logging
+import math
 import os
 import re
 import time
@@ -64,6 +65,7 @@ from repro.batch.cache import InMemoryLRUCache
 from repro.batch.digest import job_digest
 from repro.batch.jobs import BatchJob, CacheableResult, jobs_from_suite
 from repro.core.config import AllocatorConfig
+from repro.batch.trace import NULL_TRACER, open_tracer
 from repro.core.pipeline import (
     DEFAULT_SIMULATION_ITERATIONS,
     compile_kernel,
@@ -161,6 +163,28 @@ def execute_any(job) -> Any:
 def _result_type(job) -> type:
     """The result class a job's cache payloads rebuild into."""
     return getattr(job, "result_type", JobResult)
+
+
+def job_size_hint(job) -> float | None:
+    """A job's advisory size estimate (bigger = slower), or ``None``.
+
+    Jobs expose it as a ``size_hint`` attribute or property; anything
+    non-numeric, non-finite, or raising is treated as "no hint" --
+    scheduling hints are advisory and must never break a run.  The
+    cluster client ships this to the job server for size-aware
+    ordering (``job-serve --order size``).
+    """
+    try:
+        hint = getattr(job, "size_hint", None)
+        if callable(hint):
+            hint = hint()
+    # repro-lint: disable=BROAD-EXCEPT -- a broken size hint must degrade to "no hint", never fail the batch
+    except Exception:
+        return None
+    if isinstance(hint, bool) or not isinstance(hint, (int, float)):
+        return None
+    value = float(hint)
+    return value if math.isfinite(value) else None
 
 
 def _job_failure(job, digest: str, error: Exception) -> BatchError:
@@ -529,10 +553,18 @@ class BatchCompiler:
         ``"tcp://host:port"`` for a multi-host worker fleet.  Mutually
         exclusive with a non-default ``n_workers`` (an executor carries
         its own width).
+    trace:
+        Trace sink (path, stream, or a shared
+        :class:`~repro.batch.trace.Tracer`): the engine emits
+        ``cache_hit``/``enqueue``/``finish`` events per job, so
+        "where did the wall-clock go" is answerable for local runs
+        too, not just cluster ones.  ``None`` (the default) disables
+        tracing at zero cost.
     """
 
     def __init__(self, *, cache=None, n_workers: int = 1,
-                 executor: Executor | str | None = None):
+                 executor: Executor | str | None = None,
+                 trace=None):
         if n_workers < 1:
             raise BatchError(f"n_workers must be >= 1, got {n_workers}")
         if executor is not None and n_workers != 1:
@@ -544,11 +576,28 @@ class BatchCompiler:
             executor = InlineExecutor() if n_workers == 1 \
                 else LocalPoolExecutor(n_workers)
         self.executor = open_executor(executor)
+        self.trace = open_tracer(trace, source="engine")
 
     @property
     def n_workers(self) -> int:
         """The executor's parallelism width (best effort, for reports)."""
         return self.executor.n_workers
+
+    def _trace_job(self, kind: str, index: int, job,
+                   **extra) -> None:
+        """Emit one engine-side trace event for a job slot."""
+        if not self.trace.enabled:
+            return
+        fields: dict = {"index": index}
+        name = getattr(job, "name", None)
+        if name is not None:
+            fields["name"] = str(name)
+        size = job_size_hint(job)
+        if size is not None and kind == "enqueue":
+            fields["size"] = size
+        fields.update({key: value for key, value in extra.items()
+                       if value is not None})
+        self.trace.emit(kind, **fields)
 
     def _scan(self, jobs: Sequence) -> list[tuple[str, Any]]:
         """Per-job ``(digest, cached result | None)``, the batch's
@@ -598,6 +647,8 @@ class BatchCompiler:
         for index, (digest, result) in enumerate(self._scan(jobs)):
             if result is not None:
                 slots[index] = result
+                self._trace_job("cache_hit", index, jobs[index],
+                                digest=digest)
                 continue
             pending.setdefault(digest, []).append(index)
             pending_jobs.setdefault(digest, jobs[index])
@@ -664,10 +715,15 @@ class BatchCompiler:
         salvage but propagates as itself.
         """
         slots: list[JobResult | None] = [None] * len(jobs)
+        for position, job in enumerate(jobs):
+            self._trace_job("enqueue", position, job)
         stream = self.executor.run(jobs)
         try:
             for position, result in stream:
                 slots[position] = result
+                self._trace_job(
+                    "finish", position, jobs[position], outcome="ok",
+                    seconds=getattr(result, "wall_seconds", None))
         except BaseException as error:
             # Stop paying for what never started, persist everything
             # that did complete (including in-flight completions the
@@ -678,6 +734,8 @@ class BatchCompiler:
             self._persist(jobs, slots)
             if isinstance(error, JobFailure):
                 failing = jobs[error.index]
+                self._trace_job("finish", error.index, failing,
+                                outcome="failed")
                 raise _job_failure(failing, job_digest(failing),
                                    error.cause) from error.cause
             raise
@@ -715,6 +773,8 @@ class BatchCompiler:
         pending_jobs: dict[str, Any] = {}
         for index, (digest, result) in enumerate(self._scan(jobs)):
             if result is not None:
+                self._trace_job("cache_hit", index, jobs[index],
+                                digest=digest)
                 yield index, result
                 continue
             pending.setdefault(digest, []).append(index)
@@ -734,13 +794,22 @@ class BatchCompiler:
                     result, name=jobs[index].name, from_cache=True)
 
         digests = list(pending)
+        for position, digest in enumerate(digests):
+            self._trace_job("enqueue", position, pending_jobs[digest],
+                            digest=digest)
         stream = self.executor.run([pending_jobs[digest]
                                     for digest in digests])
         try:
             for position, result in stream:
+                self._trace_job(
+                    "finish", position, pending_jobs[digests[position]],
+                    outcome="ok",
+                    seconds=getattr(result, "wall_seconds", None))
                 yield from fan_out(digests[position], result)
         except JobFailure as failure:
             digest = digests[failure.index]
+            self._trace_job("finish", failure.index,
+                            pending_jobs[digest], outcome="failed")
             raise _job_failure(pending_jobs[digest], digest,
                                failure.cause) from failure.cause
         finally:

@@ -115,6 +115,14 @@ def _add_executor_argument(parser: argparse.ArgumentParser) -> None:
                              "overrides -j/--workers")
 
 
+def _add_trace_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="append structured scheduler events as "
+                             "JSONL to PATH (analyze with "
+                             "'repro-agu trace PATH'; default: off, "
+                             "zero overhead)")
+
+
 def _add_spec_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("-k", "--registers", type=int, default=None,
                         help="number of address registers (default 4)")
@@ -159,11 +167,37 @@ def _cmd_graph(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cluster_trace_report(args: argparse.Namespace, text: str) -> int:
+    """Analyze a JSONL scheduler trace (see :mod:`repro.batch.trace`)."""
+    import io
+    import json
+
+    from repro.batch.trace import analyze_trace, read_trace
+
+    trace = read_trace(io.StringIO(text))
+    report = analyze_trace(trace,
+                           straggler_factor=args.straggler_factor)
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        return 0
+    print(report.render(top=args.top))
+    if args.timeline:
+        print()
+        print(report.render_timeline())
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     from repro.core.allocator import AddressRegisterAllocator
     from repro.workloads.trace import parse_trace
 
-    pattern = parse_trace(_read_source(args.file))
+    text = _read_source(args.file)
+    # Two trace dialects share this subcommand: JSONL scheduler traces
+    # (every line a JSON object, so the file starts with '{') and the
+    # legacy plain-text access traces (which never do).
+    if text.lstrip().startswith("{"):
+        return _cluster_trace_report(args, text)
+    pattern = parse_trace(text)
     spec = _spec_from_args(args)
     allocator = AddressRegisterAllocator(spec)
     result = allocator.allocate(pattern)
@@ -269,7 +303,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
                                include_baseline=args.baseline)
     cache = open_cache(args.cache) if args.cache else None
     compiler = BatchCompiler(cache=cache, n_workers=args.workers,
-                             executor=_executor_from_args(args))
+                             executor=_executor_from_args(args),
+                             trace=args.trace)
     report = compiler.compile(jobs)
     title = f"batch: {args.kernels or args.suite} on {spec}"
     print(report.render(title=title))
@@ -324,7 +359,11 @@ def _cmd_job_serve(args: argparse.Namespace) -> int:
         server = JobServer(args.host, args.port,
                            lease_timeout=args.lease_timeout,
                            max_attempts=args.max_attempts,
-                           idle_timeout=args.idle_timeout or None)
+                           idle_timeout=args.idle_timeout or None,
+                           order=args.order,
+                           speculate=args.speculate,
+                           adaptive_lease=args.adaptive_lease,
+                           trace=args.trace)
     except OSError as error:
         # Port in use, unresolvable host, privileged port, ...
         raise ReproError(
@@ -334,6 +373,15 @@ def _cmd_job_serve(args: argparse.Namespace) -> int:
           f"repro-agu worker {server.endpoint}; point runs at it with "
           f"--executor {server.endpoint}; stop with SIGINT/SIGTERM",
           flush=True)
+    policies = [name for name, on in
+                (("order=size", args.order == "size"),
+                 ("speculate", args.speculate),
+                 ("adaptive-lease", args.adaptive_lease)) if on]
+    if policies:
+        print(f"scheduling policies: {', '.join(policies)}", flush=True)
+    if args.trace:
+        print(f"tracing scheduler events to {args.trace} "
+              f"(analyze with: repro-agu trace {args.trace})", flush=True)
 
     def terminate(signum, frame):
         raise KeyboardInterrupt
@@ -409,7 +457,8 @@ def _cmd_worker(args: argparse.Namespace) -> int:
 
     worker = Worker(host, port, poll=args.poll, max_jobs=args.max_jobs,
                     idle_exit=args.idle_exit,
-                    connect_retry=args.connect_retry, on_event=on_event)
+                    connect_retry=args.connect_retry, on_event=on_event,
+                    trace=args.trace)
 
     def terminate(signum, frame):
         worker.stop()
@@ -471,7 +520,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
         config, n_workers=args.workers,
         cache=open_cache(args.cache) if args.cache else None,
         progress=None if args.no_progress else progress,
-        executor=_executor_from_args(args))
+        executor=_executor_from_args(args), trace=args.trace)
 
     print()
     print(render.statistical_table(summary).render())
@@ -557,7 +606,7 @@ def _cmd_ablate(args: argparse.Namespace) -> int:
         args.which, config, n_workers=args.workers,
         cache=open_cache(args.cache) if args.cache else None,
         progress=None if args.no_progress else progress,
-        executor=_executor_from_args(args))
+        executor=_executor_from_args(args), trace=args.trace)
 
     print()
     if definition.render is not None:
@@ -717,6 +766,7 @@ def build_parser() -> argparse.ArgumentParser:
                                    "baseline overhead")
     batch_parser.add_argument("--json", default=None,
                               help="also save the report as JSON")
+    _add_trace_argument(batch_parser)
     batch_parser.set_defaults(func=_cmd_batch)
 
     stats_parser = commands.add_parser(
@@ -757,6 +807,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="suppress per-point streaming output")
     stats_parser.add_argument("--json", default=None,
                               help="also save the summary as JSON")
+    _add_trace_argument(stats_parser)
     stats_parser.set_defaults(func=_cmd_stats)
 
     from repro.batch.registry import get_experiment, registered_experiments
@@ -791,6 +842,7 @@ def build_parser() -> argparse.ArgumentParser:
                                help="suppress per-point streaming output")
     ablate_parser.add_argument("--json", default=None,
                                help="also save the summary as JSON")
+    _add_trace_argument(ablate_parser)
     ablate_parser.set_defaults(func=_cmd_ablate)
 
     serve_parser = commands.add_parser(
@@ -845,6 +897,27 @@ def build_parser() -> argparse.ArgumentParser:
                                        "0 disables; size above the "
                                        "slowest job and the lease "
                                        "timeout)")
+    job_serve_parser.add_argument("--order", choices=("fifo", "size"),
+                                  default="fifo",
+                                  help="job dispatch order: fifo "
+                                       "(default, submission order) or "
+                                       "size (largest size hint first, "
+                                       "shrinking the straggler tail)")
+    job_serve_parser.add_argument("--speculate", action="store_true",
+                                  help="re-lease stragglers to idle "
+                                       "workers once a job's lease age "
+                                       "passes a trace-derived "
+                                       "duration percentile "
+                                       "(first result wins; default "
+                                       "off)")
+    job_serve_parser.add_argument("--adaptive-lease",
+                                  action="store_true",
+                                  help="derive the effective lease "
+                                       "timeout from observed job "
+                                       "durations instead of the "
+                                       "static --lease-timeout "
+                                       "(default off)")
+    _add_trace_argument(job_serve_parser)
     job_serve_parser.set_defaults(func=_cmd_job_serve)
 
     worker_parser = commands.add_parser(
@@ -872,6 +945,7 @@ def build_parser() -> argparse.ArgumentParser:
                                     "(default 10)")
     worker_parser.add_argument("--quiet", action="store_true",
                                help="suppress per-job log lines")
+    _add_trace_argument(worker_parser)
     worker_parser.set_defaults(func=_cmd_worker)
 
     compile_serve_parser = commands.add_parser(
@@ -937,11 +1011,28 @@ def build_parser() -> argparse.ArgumentParser:
     selftest_parser.set_defaults(func=_cmd_selftest)
 
     trace_parser = commands.add_parser(
-        "trace", help="allocate registers for a plain-text access trace")
+        "trace", help="allocate registers for a plain-text access "
+                      "trace, or analyze a JSONL scheduler trace "
+                      "(from --trace; auto-detected)")
     trace_parser.add_argument("file", help="trace file ('-' = stdin)")
     _add_spec_arguments(trace_parser)
     trace_parser.add_argument("--listing", action="store_true",
                               help="also print the address-code listing")
+    trace_parser.add_argument("--json", action="store_true",
+                              help="scheduler traces: emit the report "
+                                   "as JSON instead of text")
+    trace_parser.add_argument("--top", type=int, default=5,
+                              help="scheduler traces: stragglers and "
+                                   "critical-path jobs to list "
+                                   "(default 5)")
+    trace_parser.add_argument("--straggler-factor", type=float,
+                              default=2.0,
+                              help="scheduler traces: flag jobs slower "
+                                   "than this multiple of the median "
+                                   "execution time (default 2.0)")
+    trace_parser.add_argument("--timeline", action="store_true",
+                              help="scheduler traces: also render the "
+                                   "per-worker busy/idle timeline")
     trace_parser.set_defaults(func=_cmd_trace)
 
     report_parser = commands.add_parser(

@@ -22,6 +22,13 @@ from pathlib import Path
 
 import pytest
 
+from _cluster_harness import (
+    GateJob,
+    VirtualClock,
+    gate_events,
+    reset_gate,
+    scripted_cluster,
+)
 from _cluster_jobs import (
     CrashingJob,
     HugeResultJob,
@@ -427,58 +434,64 @@ class TestClusterFailureSemantics:
 class TestLeaseRecovery:
     def test_expired_lease_is_requeued_and_completed(self):
         """A worker that leases a job and goes silent loses it to the
-        reaper; the job completes on a live worker."""
-        server = JobServer(lease_timeout=0.2)
-        try:
-            silent = object()
-            job = TinyJob(name="lost", value=4)
-            batch = server.create_batch([encode_payload(job)])
-            leased = server.handle_worker_request(
-                {"op": "lease", "wait": 0}, silent)
+        reaper; the job completes on a live worker.  Deterministic:
+        the stall is a virtual-clock advance, not a sleep."""
+        with scripted_cluster(lease_timeout=0.2) as cluster:
+            silent, live = cluster.worker(), cluster.worker()
+            batch = cluster.submit([TinyJob(name="lost", value=4)])
+            leased = silent.lease()
             assert leased["index"] == 0
-            time.sleep(0.25)
-            assert server.reap_expired_leases() == 1
-            assert server.stats.requeued == 1
+            cluster.clock.advance(0.25)  # the stall fault
+            assert cluster.server.reap_expired_leases() == 1
+            assert cluster.server.stats.requeued == 1
             # A live worker now gets the requeued job...
-            relessed = server.handle_worker_request(
-                {"op": "lease", "wait": 0}, object())
-            assert relessed["index"] == 0
-            result = decode_payload(relessed["job"]).execute()
-            assert server.handle_worker_request(
-                {"op": "complete", "lease": relessed["lease"],
-                 "result": encode_payload(result)}, object()) \
-                == {"ok": True}
+            released = live.lease()
+            assert released["index"] == 0
+            result = decode_payload(released["job"]).execute()
+            assert live.complete(released, result) == {"ok": True}
             # ...and the silent worker's late completion is stale.
-            assert server.handle_worker_request(
-                {"op": "complete", "lease": leased["lease"],
-                 "result": encode_payload(result)}, silent) \
+            assert silent.complete(leased, result) \
                 == {"ok": True, "stale": True}
-            assert batch.events.get(timeout=1.0)["event"] == "result"
-            assert batch.events.get(timeout=1.0)["event"] == "done"
-            assert server.stats.completed == 1
-        finally:
-            server.shutdown()
+            events = cluster.drain_events(batch)
+            assert [event["event"] for event in events] \
+                == ["result", "done"]
+            assert cluster.server.stats.completed == 1
+            assert cluster.server.stats.stale == 1
 
     def test_gives_up_after_max_attempts(self):
         """A job that loses every worker it touches eventually fails
-        the batch instead of looping forever."""
-        server = JobServer(lease_timeout=60.0, max_attempts=2)
-        try:
-            batch = server.create_batch(
-                [encode_payload(TinyJob(name="doomed"))])
-            for attempt in range(2):
-                leased = server.handle_worker_request(
-                    {"op": "lease", "wait": 0}, object())
-                assert "lease" in leased
-                lease = server._leases[leased["lease"]]
-                with server._lock:
-                    server._requeue_locked(lease, reason="test kill")
-            event = batch.events.get(timeout=1.0)
-            assert event["event"] == "failed"
-            assert event["error_type"] == "WorkerLost"
-            assert batch.events.get(timeout=1.0)["event"] == "aborted"
-        finally:
-            server.shutdown()
+        the batch instead of looping forever.  The fault is a worker
+        SIGKILL (connection loss) injected via the harness."""
+        with scripted_cluster(lease_timeout=60.0,
+                              max_attempts=2) as cluster:
+            batch = cluster.submit([TinyJob(name="doomed")])
+            for _attempt in range(2):
+                doomed = cluster.worker()
+                assert doomed.lease() is not None
+                doomed.kill()  # SIGKILL: leases requeue on disconnect
+            events = cluster.drain_events(batch)
+            assert [event["event"] for event in events] \
+                == ["failed", "aborted"]
+            assert events[0]["error_type"] == "WorkerLost"
+            assert cluster.server.stats.requeued == 1
+
+    def test_duplicate_completion_is_first_wins(self):
+        """Two completions on one lease: the first is accepted, the
+        duplicate is acknowledged stale, and the client sees exactly
+        one result event."""
+        with scripted_cluster() as cluster:
+            worker = cluster.worker()
+            batch = cluster.submit([TinyJob(name="twice", value=3)])
+            leased = worker.lease()
+            result = decode_payload(leased["job"]).execute()
+            assert worker.complete(leased, result) == {"ok": True}
+            assert worker.complete(leased, result) \
+                == {"ok": True, "stale": True}
+            events = cluster.drain_events(batch)
+            assert [event["event"] for event in events] \
+                == ["result", "done"]
+            assert cluster.server.stats.completed == 1
+            assert cluster.server.stats.stale == 1
 
     def test_worker_killed_mid_job_requeues_and_completes(
             self, tmp_path):
@@ -537,6 +550,179 @@ class TestLeaseRecovery:
             == [(r.name, r.digest, r.value) for r in inline.results]
 
 
+class TestSchedulingPolicies:
+    """The trace-informed scheduling policies, deterministically (all
+    off by default; every test opts in explicitly)."""
+
+    def test_fifo_is_the_default_and_ignores_hints(self):
+        with scripted_cluster() as cluster:
+            hints = [{"name": f"j{i}", "size": float(10 - i)}
+                     for i in range(3)]
+            cluster.submit([TinyJob(name=f"j{i}", value=i)
+                            for i in range(3)], hints=hints)
+            worker = cluster.worker()
+            assert [worker.lease()["index"] for _ in range(3)] \
+                == [0, 1, 2]
+
+    def test_size_order_leases_largest_hinted_first(self):
+        """order="size": hinted jobs go largest-first; unhinted jobs
+        keep FIFO order after every hinted one."""
+        with scripted_cluster(order="size") as cluster:
+            hints = [{"name": "j0", "size": 1.0},
+                     {"name": "j1", "size": 5.0},
+                     {"name": "j2", "size": 3.0},
+                     {"name": "j3"}]
+            cluster.submit([TinyJob(name=f"j{i}", value=i)
+                            for i in range(4)], hints=hints)
+            worker = cluster.worker()
+            assert [worker.lease()["index"] for _ in range(4)] \
+                == [1, 2, 0, 3]
+
+    def test_size_order_survives_malformed_hints(self):
+        """Hints are advisory: garbage falls back to FIFO instead of
+        failing the batch."""
+        with scripted_cluster(order="size") as cluster:
+            cluster.submit([TinyJob(name=f"j{i}", value=i)
+                            for i in range(2)],
+                           hints=[{"size": "huge"}, "nonsense"])
+            worker = cluster.worker()
+            assert [worker.lease()["index"] for _ in range(2)] \
+                == [0, 1]
+
+    def test_adaptive_lease_timeout_follows_observed_durations(self):
+        """The effective timeout stays static until enough samples
+        exist, then tracks factor x p95 of observed durations -- and
+        the reaper enforces the adaptive value."""
+        with scripted_cluster(lease_timeout=60.0, adaptive_lease=True,
+                              adaptive_min_samples=2,
+                              adaptive_factor=3.0,
+                              adaptive_floor=0.5) as cluster:
+            server = cluster.server
+            assert server.effective_lease_timeout() == 60.0
+            worker = cluster.worker()
+            cluster.submit([TinyJob(name=f"j{i}", value=i)
+                            for i in range(2)])
+            for _ in range(2):
+                leased = worker.lease()
+                worker.complete(
+                    leased, decode_payload(leased["job"]).execute(),
+                    seconds=1.0)
+            assert server.effective_lease_timeout() \
+                == pytest.approx(3.0)
+            # A lease older than the adaptive timeout (but far younger
+            # than the static one) is reaped.
+            cluster.submit([TinyJob(name="late", value=9)])
+            assert worker.lease() is not None
+            cluster.clock.advance(3.5)
+            assert server.reap_expired_leases() == 1
+
+    def test_adaptive_lease_timeout_respects_the_floor(self):
+        """Sub-floor job durations cannot shrink the timeout into
+        hair-trigger territory."""
+        with scripted_cluster(lease_timeout=60.0, adaptive_lease=True,
+                              adaptive_min_samples=1,
+                              adaptive_factor=3.0,
+                              adaptive_floor=0.5) as cluster:
+            worker = cluster.worker()
+            cluster.submit([TinyJob(name="quick", value=1)])
+            leased = worker.lease()
+            worker.complete(
+                leased, decode_payload(leased["job"]).execute(),
+                seconds=0.001)
+            assert cluster.server.effective_lease_timeout() == 0.5
+
+    def test_speculative_re_lease_first_wins(self):
+        """The headline speculation scenario: a straggling lease gets
+        a duplicate once the queue drains; the duplicate's result is
+        accepted, the straggler's late result is acknowledged stale,
+        and the client sees each index exactly once."""
+        with scripted_cluster(lease_timeout=60.0, speculate=True,
+                              speculate_min_samples=1,
+                              speculate_factor=2.0) as cluster:
+            fast, slow, helper = (cluster.worker(), cluster.worker(),
+                                  cluster.worker())
+            batch = cluster.submit([TinyJob(name="quick", value=1),
+                                    TinyJob(name="drag", value=2)])
+            quick_lease = fast.lease()
+            drag_lease = slow.lease()
+            assert (quick_lease["index"], drag_lease["index"]) == (0, 1)
+            result0 = decode_payload(quick_lease["job"]).execute()
+            assert fast.complete(quick_lease, result0, seconds=0.05) \
+                == {"ok": True}
+            # Queue drained, one sample (p95 = 0.05 s): a lease older
+            # than 0.1 s is a straggler.
+            cluster.clock.advance(1.0)
+            assert cluster.server.run_policies() \
+                == {"reaped": 0, "speculated": 1}
+            # At most one live duplicate per job: a second sweep adds
+            # nothing.
+            assert cluster.server.speculate_stragglers() == 0
+            duplicate = helper.lease()
+            assert duplicate["index"] == 1
+            result1 = decode_payload(duplicate["job"]).execute()
+            assert helper.complete(duplicate, result1, seconds=0.05) \
+                == {"ok": True}
+            # The straggler finally reports: first result won.
+            assert slow.complete(drag_lease, result1) \
+                == {"ok": True, "stale": True}
+            events = cluster.drain_events(batch)
+            assert [event["event"] for event in events] \
+                == ["result", "result", "done"]
+            assert sorted(event["index"] for event in events[:2]) \
+                == [0, 1]
+            stats = cluster.server.stats
+            assert (stats.completed, stats.speculated, stats.stale,
+                    stats.requeued) == (2, 1, 1, 0)
+
+    def test_speculation_waits_for_samples_and_an_idle_queue(self):
+        """No duplicates before ``speculate_min_samples`` completions,
+        and none while ready work remains for idle workers."""
+        with scripted_cluster(lease_timeout=60.0, speculate=True,
+                              speculate_min_samples=2,
+                              speculate_factor=2.0) as cluster:
+            worker = cluster.worker()
+            cluster.submit([TinyJob(name=f"j{i}", value=i)
+                            for i in range(3)])
+            leased = worker.lease()
+            cluster.clock.advance(100.0)
+            # Ready work remains: never speculate.
+            assert cluster.server.speculate_stragglers() == 0
+            worker.complete(
+                leased, decode_payload(leased["job"]).execute(),
+                seconds=0.05)
+            assert worker.lease() is not None
+            assert worker.lease() is not None
+            cluster.clock.advance(100.0)
+            # Queue drained but only one sample (< min_samples).
+            assert cluster.server.speculate_stragglers() == 0
+
+    def test_speculation_after_resolve_never_reruns_the_job(self):
+        """A duplicate still queued when the original lease completes
+        must not be leased afterwards (the resolved index leaves the
+        ready queue)."""
+        with scripted_cluster(lease_timeout=60.0, speculate=True,
+                              speculate_min_samples=1,
+                              speculate_factor=2.0) as cluster:
+            worker, helper = cluster.worker(), cluster.worker()
+            cluster.submit([TinyJob(name="quick", value=1),
+                            TinyJob(name="drag", value=2)])
+            quick_lease = worker.lease()
+            drag_lease = worker.lease()
+            worker.complete(
+                quick_lease,
+                decode_payload(quick_lease["job"]).execute(),
+                seconds=0.05)
+            cluster.clock.advance(1.0)
+            assert cluster.server.speculate_stragglers() == 1
+            # The original finishes before anyone leases the duplicate.
+            assert worker.complete(
+                drag_lease,
+                decode_payload(drag_lease["job"]).execute()) \
+                == {"ok": True}
+            assert helper.lease() is None
+            assert cluster.server.stats.completed == 2
+
+
 class TestStatisticalGridAcrossExecutors:
     """EXP-S1 bit-identity: inline vs local pool vs cluster."""
 
@@ -566,6 +752,28 @@ class TestStatisticalGridAcrossExecutors:
         assert self.summary_key(inline) == self.summary_key(cached)
         assert cached.n_points_compiled == 0
         assert cached.n_points_cached == len(inline.rows)
+
+    def test_summary_bit_identical_with_policies_enabled(self):
+        """Regression for speculative re-lease first-wins semantics:
+        with every scheduling policy on and speculation tuned to fire
+        on essentially any in-flight lease, duplicate completions are
+        resolved first-wins and the summary stays bit-identical to
+        the inline run."""
+        inline = run_statistical_comparison(self.CONFIG)
+        with thread_fleet(n_workers=2, order="size", speculate=True,
+                          speculate_min_samples=1,
+                          speculate_factor=0.01,
+                          adaptive_lease=True, adaptive_min_samples=1,
+                          lease_timeout=2.0,
+                          max_attempts=5) as server:
+            clustered = run_statistical_comparison(
+                self.CONFIG,
+                executor=ClusterExecutor(*server.address))
+            stats = server.stats
+        assert self.summary_key(inline) == self.summary_key(clustered)
+        # Every job resolved exactly once client-side, whatever the
+        # duplicate-lease churn server-side.
+        assert stats.completed == len(inline.rows)
 
     def test_summary_bit_identical_after_worker_kill(self, tmp_path):
         """Kill one of two subprocess workers mid-run: the summary
@@ -611,21 +819,156 @@ class TestWorkerLoop:
             assert server.stats.completed == 2
 
     def test_idle_exit(self):
+        """The idle clock runs on the worker's injected clock: each
+        idle poll advances virtual time by the whole budget, so the
+        loop exits on its second poll with no real waiting."""
+        clock = VirtualClock()
+
+        def on_event(kind: str, detail: str) -> None:
+            if kind == "idle":
+                clock.advance(30.0)
+
         with JobServer() as server:
-            worker = Worker(*server.address, poll=0.05, idle_exit=0.15)
-            started = time.monotonic()
+            worker = Worker(*server.address, poll=0.01, idle_exit=30.0,
+                            on_event=on_event, clock=clock)
             assert worker.run() == 0
-            assert time.monotonic() - started < 10.0
 
     def test_stop_is_graceful(self):
-        with JobServer() as server:
-            worker = Worker(*server.address, poll=0.05)
-            thread = threading.Thread(target=worker.run, daemon=True)
-            thread.start()
-            time.sleep(0.1)
-            worker.stop()
-            thread.join(timeout=10.0)
-            assert not thread.is_alive()
+        """stop() exits the loop after the in-flight job: the worker
+        is held inside execute() on a gate (no sleeps), stopped, then
+        released."""
+        reset_gate("stop-gate")
+        entered, release = gate_events("stop-gate")
+        try:
+            with JobServer() as server:
+                server.create_batch([encode_payload(
+                    GateJob(name="held", gate="stop-gate"))])
+                worker = Worker(*server.address, poll=0.05)
+                thread = threading.Thread(target=worker.run,
+                                          daemon=True)
+                thread.start()
+                assert entered.wait(timeout=10.0), \
+                    "worker never started the job"
+                worker.stop()  # requested while the job is in flight
+                release.set()
+                thread.join(timeout=10.0)
+                assert not thread.is_alive()
+                # The in-flight job still completed before the exit.
+                assert server.stats.completed == 1
+                assert worker.jobs_executed == 1
+        finally:
+            reset_gate("stop-gate")
+
+    def test_stale_outcome_does_not_consume_max_jobs(self):
+        """Regression: a worker racing a concurrent lease expiry used
+        to count its stale outcome toward ``--max-jobs`` (and so could
+        exit early, stranding the batch).  Only accepted outcomes
+        consume slots; the stale one lands in ``jobs_stale``."""
+        reset_gate("maxjobs-gate")
+        entered, release = gate_events("maxjobs-gate")
+        clock = VirtualClock()
+        job = GateJob(name="g", gate="maxjobs-gate", value=7)
+        try:
+            with JobServer(clock=clock, auto_reap=False,
+                           lease_timeout=0.2) as server:
+                server.create_batch([encode_payload(job)])
+                worker = Worker(*server.address, poll=0.0, max_jobs=2)
+                thread = threading.Thread(target=worker.run,
+                                          daemon=True)
+                thread.start()
+                assert entered.wait(timeout=10.0), \
+                    "worker never started the job"
+                # The lease expires mid-execution (virtual stall) and
+                # a rival completes the job first.
+                clock.advance(0.25)
+                assert server.reap_expired_leases() == 1
+                rival = object()
+                released = server.handle_worker_request(
+                    {"op": "lease", "wait": 0}, rival)
+                result = TinyResult(name="g", digest=job_digest(job),
+                                    value=7)
+                assert server.handle_worker_request(
+                    {"op": "complete", "lease": released["lease"],
+                     "result": encode_payload(result)},
+                    rival) == {"ok": True}
+                # Queue follow-up work *before* releasing the gate so
+                # the worker never blocks on an empty queue under the
+                # virtual clock.
+                server.create_batch(
+                    [encode_payload(TinyJob(name="second", value=1)),
+                     encode_payload(TinyJob(name="third", value=2))])
+                release.set()
+                thread.join(timeout=10.0)
+                assert not thread.is_alive(), "worker never exited"
+                # The stale outcome did not burn a slot: both real
+                # jobs were still executed by this worker.
+                assert worker.jobs_executed == 2
+                assert worker.jobs_stale == 1
+                assert server.stats.stale == 1
+                assert server.stats.completed == 3
+        finally:
+            reset_gate("maxjobs-gate")
+
+    def test_stale_outcome_does_not_reset_the_idle_clock(self):
+        """Regression companion: only accepted outcomes reset the
+        ``--idle-exit`` clock.  A worker whose single outcome was
+        stale exits on its standing idle budget -- one post-stale
+        idle advance suffices -- instead of earning a fresh one."""
+        reset_gate("idle-gate")
+        entered, release = gate_events("idle-gate")
+        clock = VirtualClock()
+        advances: list[float] = []
+        grant = threading.Event()  # test -> worker: advance next idle
+        job = GateJob(name="g", gate="idle-gate", value=7)
+
+        def on_event(kind: str, detail: str) -> None:
+            if kind == "idle" and grant.is_set():
+                grant.clear()
+                advances.append(clock.advance(60.0))
+
+        try:
+            with JobServer(clock=clock, auto_reap=False,
+                           lease_timeout=0.2) as server:
+                worker = Worker(*server.address, poll=0.0,
+                                idle_exit=50.0, on_event=on_event,
+                                clock=clock)
+                grant.set()  # idle poll #1 starts the idle clock
+                thread = threading.Thread(target=worker.run,
+                                          daemon=True)
+                thread.start()
+                deadline = time.monotonic() + 10.0
+                while not advances and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                assert advances, "worker never reported idle"
+                server.create_batch([encode_payload(job)])
+                assert entered.wait(timeout=10.0), \
+                    "worker never started the job"
+                clock.advance(0.25)  # the lease expires mid-execution
+                assert server.reap_expired_leases() == 1
+                rival = object()
+                released = server.handle_worker_request(
+                    {"op": "lease", "wait": 0}, rival)
+                result = TinyResult(name="g", digest=job_digest(job),
+                                    value=7)
+                server.handle_worker_request(
+                    {"op": "complete", "lease": released["lease"],
+                     "result": encode_payload(result)}, rival)
+                release.set()  # the worker's outcome arrives stale
+                deadline = time.monotonic() + 10.0
+                while worker.jobs_stale < 1 \
+                        and time.monotonic() < deadline:
+                    time.sleep(0.01)
+                assert worker.jobs_stale == 1
+                # One more idle advance pushes the *original* idle
+                # clock past the budget; had the stale outcome reset
+                # it, this single advance could not trigger the exit.
+                grant.set()
+                thread.join(timeout=10.0)
+                assert not thread.is_alive(), "worker never exited"
+                assert len(advances) == 2
+                assert worker.jobs_executed == 0
+        finally:
+            reset_gate("idle-gate")
 
     def test_connect_retry_gives_up_loudly(self):
         worker = Worker("127.0.0.1", unused_port(), poll=0.05,

@@ -38,10 +38,11 @@ from typing import Any
 TRAJECTORY_SCHEMA = 1
 
 #: The default bench selection: the solver hot-path micro-suite, the
-#: cold EXP-S1 grid (the end-to-end number the solvers feed), and the
+#: cold EXP-S1 grid (the end-to-end number the solvers feed), the
 #: compile-service latency benches (whose p50/p95/p99 SLO numbers ride
-#: along in ``extra_info``).
-DEFAULT_SELECTION = "solver or stats_grid_cold or bench_serve"
+#: along in ``extra_info``), and the cluster scheduling-policy benches
+#: (whose trace-derived makespan/utilization ride along the same way).
+DEFAULT_SELECTION = "solver or stats_grid_cold or bench_serve or sched"
 
 #: The bench module every trajectory run executes.
 BENCH_FILE = "benchmarks/bench_perf_scaling.py"

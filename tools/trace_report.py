@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Render a JSONL scheduler trace as a text or JSON report.
+
+A standalone wrapper around :mod:`repro.batch.trace` for CI steps and
+operators who have a trace artifact but not an installed package --
+the same analysis the ``repro-agu trace`` subcommand runs on JSONL
+input::
+
+    PYTHONPATH=src python tools/trace_report.py TRACE.jsonl
+    PYTHONPATH=src python tools/trace_report.py TRACE.jsonl --json
+    PYTHONPATH=src python tools/trace_report.py TRACE.jsonl --timeline
+
+Exit codes: 0 report rendered, 1 the trace is missing or malformed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Runnable from a bare checkout: fall back to the in-tree package when
+# ``repro`` is not already importable via PYTHONPATH/site-packages.
+try:
+    from repro.batch.trace import TraceError, analyze_trace, read_trace
+except ImportError:  # pragma: no cover - exercised only sans PYTHONPATH
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.batch.trace import TraceError, analyze_trace, read_trace
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        description="analyze a repro.batch.trace JSONL scheduler trace")
+    parser.add_argument("trace", help="JSONL trace file (from --trace)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the report as JSON instead of text")
+    parser.add_argument("--top", type=int, default=5,
+                        help="stragglers / critical-path jobs to list "
+                             "(default 5)")
+    parser.add_argument("--straggler-factor", type=float, default=2.0,
+                        help="flag jobs slower than this multiple of "
+                             "the median execution time (default 2.0)")
+    parser.add_argument("--timeline", action="store_true",
+                        help="also render the per-worker busy/idle "
+                             "timeline")
+    args = parser.parse_args(argv)
+
+    try:
+        report = analyze_trace(read_trace(args.trace),
+                               straggler_factor=args.straggler_factor)
+    except (OSError, TraceError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    if args.json:
+        print(json.dumps(report.to_json(), indent=2, sort_keys=True))
+        return 0
+    print(report.render(top=args.top))
+    if args.timeline:
+        print()
+        print(report.render_timeline())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
